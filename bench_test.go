@@ -1,0 +1,221 @@
+package llama
+
+// The benchmark harness of deliverable (d): one testing.B target per
+// table and figure of the paper's evaluation, plus the DESIGN.md
+// ablations. Each benchmark regenerates the artefact end to end (workload
+// generation, sweep, physics) so `go test -bench=.` both times the
+// pipeline and re-derives every reported number. Run cmd/llama-bench to
+// see the tables themselves.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/control"
+	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// benchExperiment runs a registry entry b.N times, seeding each run
+// differently so caching cannot hide work.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig02a(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig02b(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig08(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig09(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "fig23") }
+
+// Ablations and extensions (DESIGN.md §4).
+func BenchmarkAblSubstrate(b *testing.B)  { benchExperiment(b, "abl-substrate") }
+func BenchmarkAblLayers(b *testing.B)     { benchExperiment(b, "abl-layers") }
+func BenchmarkAblSweep(b *testing.B)      { benchExperiment(b, "abl-sweep") }
+func BenchmarkAblSync(b *testing.B)       { benchExperiment(b, "abl-sync") }
+func BenchmarkAblBaseline(b *testing.B)   { benchExperiment(b, "abl-baseline") }
+func BenchmarkAblYield(b *testing.B)      { benchExperiment(b, "abl-yield") }
+func BenchmarkExt900MHz(b *testing.B)     { benchExperiment(b, "ext-900mhz") }
+func BenchmarkExtMultilink(b *testing.B)  { benchExperiment(b, "ext-multilink") }
+func BenchmarkExtThroughput(b *testing.B) { benchExperiment(b, "ext-throughput") }
+func BenchmarkExtSchedule(b *testing.B)   { benchExperiment(b, "ext-schedule") }
+
+// Micro-benchmarks of the hot paths underneath the experiments, so
+// regressions in the physics kernels are visible independent of the
+// workload plumbing.
+
+func BenchmarkSurfaceJonesTransmissive(b *testing.B) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := surf.JonesTransmissive(DefaultCarrierHz)
+		if m.MaxAbs() == 0 {
+			b.Fatal("degenerate Jones matrix")
+		}
+	}
+}
+
+func BenchmarkSurfaceJonesReflective(b *testing.B) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := surf.JonesReflective(DefaultCarrierHz)
+		if m.MaxAbs() == 0 {
+			b.Fatal("degenerate Jones matrix")
+		}
+	}
+}
+
+func BenchmarkSceneFieldTransfer(b *testing.B) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(8, 8)
+	sc := MismatchedLink(surf, 0.48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := sc.FieldTransfer(); h == 0 {
+			b.Fatal("null field")
+		}
+	}
+}
+
+func BenchmarkClosedLoopSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loop, err := NewLoop(LoopConfig{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := loop.Optimize(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if loop.GainDB() < 3 {
+			b.Fatalf("closed loop gained only %.1f dB", loop.GainDB())
+		}
+	}
+}
+
+func BenchmarkCoarseToFineAlgorithm(b *testing.B) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	sc := MismatchedLink(surf, 0.48)
+	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+	sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignCalibration(b *testing.B) {
+	d := OptimizedFR4(DefaultCarrierHz)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pitch := d.CalibrateLoadPitch(units.Radians(97), 0.9, 15)
+		if math.IsNaN(pitch) || pitch <= 0 {
+			b.Fatal("bad calibration")
+		}
+	}
+}
+
+func BenchmarkRotationExtraction(b *testing.B) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(2, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := surf.RotationDegrees(DefaultCarrierHz); r <= 0 {
+			b.Fatal("no rotation")
+		}
+	}
+}
+
+func BenchmarkLatticeAggregation(b *testing.B) {
+	lat, err := ManufacturePanel(OptimizedFR4(DefaultCarrierHz), DefaultLatticeSpec(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat.SetBias(2, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := lat.RotationDegrees(DefaultCarrierHz); r <= 0 {
+			b.Fatal("no rotation")
+		}
+	}
+}
+
+func BenchmarkTrackerStep(b *testing.B) {
+	loop, err := NewLoop(LoopConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := loop.NewTracker(DefaultTrackerConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Step(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRateAdaptation(b *testing.B) {
+	table := WiFi11gRates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tp := AdaptedThroughput(table, 100, 1500); tp <= 0 {
+			b.Fatal("no throughput")
+		}
+	}
+}
+
+// BenchmarkNetworkedLoop times the full socket round trip: SCPI program,
+// UDP telemetry, one sweep step.
+func BenchmarkNetworkedLoop(b *testing.B) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	loop, err := StartNetworkedLoop(ctx, LoopConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer loop.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loop.Optimize(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = metasurface.Transmissive
+}

@@ -1,0 +1,76 @@
+// Command llama-bench regenerates the paper's evaluation: every table and
+// figure of §5 plus the DESIGN.md ablations, as text tables on stdout.
+//
+// Usage:
+//
+//	llama-bench -list              list experiment IDs
+//	llama-bench -run fig16         run one experiment
+//	llama-bench -all               run everything (the default)
+//	llama-bench -seed 7 -run fig19 change the random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/llama-surface/llama/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		run    = flag.String("run", "", "run a single experiment by ID")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Int64("seed", 1, "random seed for workload generation")
+		format = flag.String("format", "text", "output format: text, csv or json")
+	)
+	flag.Parse()
+
+	emit := func(res *experiments.Result) error {
+		switch *format {
+		case "text":
+			return res.Render(os.Stdout)
+		case "csv":
+			return res.WriteCSV(os.Stdout)
+		case "json":
+			return res.WriteJSON(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q (want text, csv or json)", *format)
+		}
+	}
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-14s %s\n", id, experiments.Describe(id))
+		}
+	case *run != "":
+		res, err := experiments.Run(*run, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(res); err != nil {
+			fatal(err)
+		}
+	default:
+		if !*all && flag.NArg() > 0 {
+			fatal(fmt.Errorf("unknown arguments %v; use -list, -run or -all", flag.Args()))
+		}
+		results, err := experiments.RunAll(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, res := range results {
+			if err := emit(res); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llama-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command llama-scpi is a small utility around the simulated Tektronix
+// 2230G bias supply: it can serve the instrument on a TCP port, or act as
+// a one-shot client sending SCPI commands to a running instance — useful
+// for poking at the control plane by hand.
+//
+// Usage:
+//
+//	llama-scpi -serve :5025                      run the instrument
+//	llama-scpi -addr 127.0.0.1:5025 "*IDN?"      query it
+//	llama-scpi -addr ... "APPL CH1,12.5" "VOLT?" multiple commands
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/llama-surface/llama/internal/psu"
+	"github.com/llama-surface/llama/internal/scpi"
+)
+
+func main() {
+	var (
+		serve = flag.String("serve", "", "serve the instrument on this address")
+		addr  = flag.String("addr", "", "send commands to an instrument at this address")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		runServer(*serve)
+	case *addr != "":
+		runClient(*addr, flag.Args())
+	default:
+		fmt.Fprintln(os.Stderr, "llama-scpi: need -serve ADDR or -addr ADDR CMD...")
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string) {
+	supply := psu.New()
+	start := time.Now()
+	tree := scpi.NewTree()
+	scpi.Bind(tree, supply, func() time.Duration { return time.Since(start) })
+	srv := scpi.NewServer(tree)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("2230G instrument serving on %s (commands: %s)\n",
+		bound, strings.Join(tree.Commands(), ", "))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+}
+
+func runClient(addr string, cmds []string) {
+	if len(cmds) == 0 {
+		fatal(fmt.Errorf("no commands given"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := scpi.Dial(ctx, addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	for _, cmd := range cmds {
+		if strings.Contains(cmd, "?") {
+			resp, err := client.Query(cmd)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-24s → %s\n", cmd, resp)
+		} else {
+			if err := client.Send(cmd); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-24s → ok\n", cmd)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llama-scpi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package llama_test
+
+// Godoc examples: compact, runnable documentation of the public API.
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/llama-surface/llama"
+)
+
+// Example shows the complete before/after story on the paper's bench.
+func Example() {
+	loop, err := llama.NewLoop(llama.LoopConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := loop.Optimize(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gain over mismatched baseline: %.0f dB\n", loop.GainDB())
+	// Output: gain over mismatched baseline: 18 dB
+}
+
+// ExampleNewSurface demonstrates direct surface control: bias the panel
+// and read the polarization rotation it applies.
+func ExampleNewSurface() {
+	surface := llama.NewSurface(llama.OptimizedFR4(llama.DefaultCarrierHz))
+	surface.SetBias(2, 15) // the Table 1 corner
+	fmt.Printf("rotation: %.0f degrees\n", surface.RotationDegrees(llama.DefaultCarrierHz))
+	// Output: rotation: 50 degrees
+}
+
+// ExampleRunExperiment regenerates a paper artefact programmatically.
+func ExampleRunExperiment() {
+	res, err := llama.RunExperiment("tab1", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d rows × %d columns\n", res.ID, len(res.Rows), len(res.Columns))
+	// Output: tab1: 7 rows × 8 columns
+}
+
+// ExampleRangeExtension converts the headline link gain into the Friis
+// range factor the paper quotes.
+func ExampleRangeExtension() {
+	fmt.Printf("15 dB → %.1fx range\n", llama.RangeExtension(15))
+	// Output: 15 dB → 5.6x range
+}

@@ -1,0 +1,88 @@
+// Respiration: the §5.2.2 sensing case study. At 5 mW the breathing of a
+// person between the transceiver pair and the surface is invisible in the
+// RSSI stream; introducing the reflective surface lifts the chest-motion
+// signature above the clutter and the rate becomes readable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/llama-surface/llama"
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/sensing"
+	"github.com/llama-surface/llama/internal/simclock"
+)
+
+func scene(surf *llama.Surface) *llama.Scene {
+	sc := channel.DefaultScene(surf, 0.70)
+	sc.Mode = metasurface.Reflective
+	sc.Geom = llama.Geometry{TxRx: 0.70, TxSurface: 2.0, SurfaceRx: 2.0}
+	sc.TxPowerW = 5e-3
+	sc.Tx.Orientation = 0
+	sc.MeasurementSaturation = 0
+	return sc
+}
+
+func main() {
+	surf := llama.NewSurface(llama.OptimizedFR4(llama.DefaultCarrierHz))
+	surf.SetBias(8, 8)
+
+	fmt.Println("scenario: respiration monitoring at 5 mW, person 2 m from the surface")
+	for _, setup := range []struct {
+		name string
+		s    *llama.Surface
+	}{
+		{"without surface", nil},
+		{"with surface", surf},
+	} {
+		mon, err := sensing.NewMonitor(scene(setup.s), sensing.DefaultBreather(), 10, 0.4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := mon.Record(60, simclock.RNG(5, "respiration"))
+		analysis, err := sensing.Analyze(rec, mon.SampleRateHz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n", setup.name)
+		fmt.Printf("  spectral peak %.1f dB over band floor (threshold %d dB)\n",
+			analysis.PeakSNRdB, sensing.DetectionThresholdDB)
+		if analysis.Detected {
+			fmt.Printf("  breathing DETECTED at %.2f Hz = %.0f breaths/min\n",
+				analysis.RateHz, analysis.RateHz*60)
+		} else {
+			fmt.Println("  breathing NOT detectable")
+		}
+		fmt.Printf("  RSSI strip (first 30 s):\n  %s\n", sparkline(rec[:300]))
+	}
+}
+
+// sparkline renders an RSSI series as a coarse ASCII strip.
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	levels := []byte("_.-=^")
+	var sb strings.Builder
+	for i := 0; i < len(xs); i += 5 {
+		frac := 0.0
+		if max > min {
+			frac = (xs[i] - min) / (max - min)
+		}
+		idx := int(frac * float64(len(levels)-1))
+		sb.WriteByte(levels[idx])
+	}
+	return sb.String()
+}

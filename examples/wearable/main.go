@@ -1,0 +1,55 @@
+// Wearable: a BLE health tracker on a moving wrist (Fig. 1's arm-swing
+// scenario). The wearable's polarization drifts as the arm moves; the
+// controller re-optimizes the reflective ceiling surface whenever the
+// link degrades, tracking the orientation through the day.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/llama-surface/llama"
+	"github.com/llama-surface/llama/internal/metasurface"
+)
+
+func main() {
+	cfg := llama.LoopConfig{
+		Seed: 99,
+		Mode: metasurface.Reflective,
+		Geom: llama.Geometry{TxRx: 2.0, TxSurface: 1.5, SurfaceRx: 1.5},
+	}
+	loop, err := llama.NewLoop(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("scenario: BLE wearable under a reflective ceiling surface; arm orientation drifts")
+	fmt.Println("pose      wrist-angle  baseline    optimized    gain   re-tuned-bias")
+
+	// A day of arm poses: typing, walking (swinging), phone call,
+	// resting. Each pose re-orients the wearable's chip antenna.
+	poses := []struct {
+		name string
+		deg  float64
+	}{
+		{"typing", 15},
+		{"walking", 70},
+		{"phone-call", 90},
+		{"resting", 40},
+		{"stretching", 120},
+	}
+	for _, pose := range poses {
+		loop.Scene().Tx.Orientation = pose.deg * math.Pi / 180
+		base := loop.BaselineDBm()
+		if _, err := loop.Optimize(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		vx, vy := loop.Surface().Bias()
+		fmt.Printf("%-10s %8.0f° %9.1f dBm %9.1f dBm %6.1f dB   (%.1fV, %.1fV)\n",
+			pose.name, pose.deg, base, loop.ReceivedDBm(), loop.GainDB(), vx, vy)
+	}
+	fmt.Println("\nthe controller keeps the link above the mismatch floor across every pose —")
+	fmt.Println("no hardware change on the wearable (the paper's core deployment claim)")
+}

@@ -1,0 +1,111 @@
+package llama
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/llama-surface/llama/internal/control"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/radio"
+	"github.com/llama-surface/llama/internal/schedule"
+)
+
+// This file exposes the production-oriented extensions beyond the paper's
+// one-shot evaluation: drift tracking, manufactured-panel modelling,
+// PHY-rate translation and multi-link scheduling.
+
+// Tracker maintains the optimum under drift with a three-tier escalation
+// ladder (hold / local refine / full re-sweep) — the continuous-operation
+// extension of Algorithm 1.
+type Tracker = control.Tracker
+
+// TrackerConfig tunes the escalation ladder.
+type TrackerConfig = control.TrackerConfig
+
+// TrackerAction identifies the tier a tracking step took.
+type TrackerAction = control.Action
+
+// Tracking tiers.
+const (
+	TrackHold    = control.ActionHold
+	TrackRefine  = control.ActionRefine
+	TrackResweep = control.ActionResweep
+)
+
+// DefaultTrackerConfig returns the standard ladder (hold within 1 dB,
+// refine within 6 dB, re-sweep beyond).
+func DefaultTrackerConfig() TrackerConfig { return control.DefaultTrackerConfig() }
+
+// NewTracker attaches a tracker to a Loop's actuator and sensor.
+func (l *Loop) NewTracker(cfg TrackerConfig) (*Tracker, error) {
+	return control.NewTracker(cfg, l.sys.Actuator(), l.sys.Sensor())
+}
+
+// Lattice models the surface as its physical population of units with
+// fabrication spread and varactor failures — the manufacturing-yield view
+// of the panel.
+type Lattice = metasurface.Lattice
+
+// LatticeSpec sets the manufacturing tolerances.
+type LatticeSpec = metasurface.LatticeSpec
+
+// DefaultLatticeSpec returns cheap-assembly tolerances.
+func DefaultLatticeSpec() LatticeSpec { return metasurface.DefaultLatticeSpec() }
+
+// ManufacturePanel draws a manufactured instance of a design.
+func ManufacturePanel(d Design, spec LatticeSpec, seed int64) (*Lattice, error) {
+	return metasurface.NewLattice(d, spec, seed)
+}
+
+// PHYRate is one protocol operating point (modulation + coding + rate).
+type PHYRate = radio.Rate
+
+// WiFi11gRates returns the 802.11g rate table.
+func WiFi11gRates() []PHYRate {
+	out := make([]PHYRate, len(radio.WiFi11g))
+	copy(out, radio.WiFi11g)
+	return out
+}
+
+// BLERate returns the BLE 1M PHY.
+func BLERate() PHYRate { return radio.BLE1M }
+
+// AdaptedThroughput returns the goodput (bit/s) of ideal rate adaptation
+// over the table at linear SNR for the given frame size.
+func AdaptedThroughput(table []PHYRate, snr float64, frameBytes int) float64 {
+	return radio.AdaptedThroughput(table, snr, frameBytes)
+}
+
+// ScheduledLink is one endpoint pair sharing the surface in the §7
+// polarization-reuse setting.
+type ScheduledLink = schedule.Link
+
+// ScheduleAllocation is the outcome of a scheduling policy.
+type ScheduleAllocation = schedule.Allocation
+
+// CompareSchedules ranks the static / round-robin / proportional policies
+// by worst-link throughput over the default bias grid.
+func CompareSchedules(links []ScheduledLink) ([]ScheduleAllocation, error) {
+	return schedule.Compare(links, schedule.DefaultGrid())
+}
+
+// Track runs n tracking steps after an initial sweep, returning the
+// tracker for inspection — a convenience for simple monitoring loops.
+func (l *Loop) Track(ctx context.Context, cfg TrackerConfig, n int) (*Tracker, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("llama: negative step count")
+	}
+	tr, err := l.NewTracker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Start(ctx); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := tr.Step(ctx); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,141 @@
+package antenna
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/jones"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestStandardModelsValidate(t *testing.T) {
+	for _, m := range []Model{
+		DirectionalPatch, OmniWiFi, HalfWaveDipole, ESP8266PCB, WearableBLE, CircularPatch,
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{Name: "gain", GainDBi: 99},
+		{Name: "beam", GainDBi: 10, Pattern: Directional, BeamwidthDeg: 0},
+		{Name: "xpd", GainDBi: 5, XPDdB: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s should fail validation", m.Name)
+		}
+	}
+}
+
+func TestOmniGainIsotropic(t *testing.T) {
+	want := units.DBToLinear(6)
+	for _, th := range []float64{0, 0.5, math.Pi / 2, math.Pi} {
+		if got := OmniWiFi.Gain(th); math.Abs(got-want) > 1e-12 {
+			t.Errorf("omni gain at %v = %v, want %v", th, got, want)
+		}
+	}
+}
+
+func TestDirectionalPattern(t *testing.T) {
+	// Boresight = full gain.
+	peak := DirectionalPatch.Gain(0)
+	if math.Abs(units.LinearToDB(peak)-10) > 1e-9 {
+		t.Errorf("boresight gain = %v dB, want 10", units.LinearToDB(peak))
+	}
+	// −3 dB at half beamwidth.
+	half := units.Radians(DirectionalPatch.BeamwidthDeg) / 2
+	at3 := DirectionalPatch.Gain(half)
+	if math.Abs(units.LinearToDB(at3)-(10-3)) > 0.01 {
+		t.Errorf("gain at half beamwidth = %v dB, want 7", units.LinearToDB(at3))
+	}
+	// Monotone decay into the side-lobe floor, never below peak−25 dB.
+	floor := DirectionalPatch.Gain(math.Pi)
+	if math.Abs(units.LinearToDB(floor)-(10-25)) > 0.01 {
+		t.Errorf("back lobe = %v dB, want -15", units.LinearToDB(floor))
+	}
+	if !(DirectionalPatch.Gain(0.2) > DirectionalPatch.Gain(0.5)) {
+		t.Error("pattern should decay off boresight")
+	}
+}
+
+func TestPolarizationStateNormalized(t *testing.T) {
+	for _, m := range []Model{DirectionalPatch, ESP8266PCB, CircularPatch} {
+		for _, psi := range []float64{0, 0.7, math.Pi / 2} {
+			v := m.PolarizationState(psi)
+			if math.Abs(v.Norm()-1) > 1e-9 {
+				t.Errorf("%s @%v: state norm %v", m.Name, psi, v.Norm())
+			}
+		}
+	}
+}
+
+func TestXPDBoundsMismatch(t *testing.T) {
+	// A fully mismatched (90°) pair of identical antennas leaks at
+	// roughly −2·XPD... −XPD+6 dB depending on leak phases; the key
+	// property is a finite floor far below the matched case.
+	loss := DirectionalPatch.MismatchLossDB(0, DirectionalPatch, math.Pi/2)
+	if loss > -14 {
+		t.Errorf("orthogonal mismatch = %v dB, want ≤ -14", loss)
+	}
+	if math.IsInf(loss, -1) {
+		t.Error("XPD should keep mismatch finite")
+	}
+	matched := DirectionalPatch.MismatchLossDB(0, DirectionalPatch, 0)
+	if matched < -0.5 {
+		t.Errorf("matched loss = %v dB, want ≈0", matched)
+	}
+	// The paper's Fig. 2 gap: ≥10 dB between matched and mismatched.
+	if matched-loss < 10 {
+		t.Errorf("match/mismatch gap = %v dB, want ≥ 10", matched-loss)
+	}
+}
+
+func TestCheapAntennasLeakMore(t *testing.T) {
+	cheap := ESP8266PCB.MismatchLossDB(0, ESP8266PCB, math.Pi/2)
+	good := DirectionalPatch.MismatchLossDB(0, DirectionalPatch, math.Pi/2)
+	if !(cheap > good) {
+		t.Errorf("cheap antenna should have higher mismatch floor: %v vs %v", cheap, good)
+	}
+}
+
+func TestCircularVsLinearIs3dB(t *testing.T) {
+	// §2: circular↔linear costs a flat 3 dB at any orientation.
+	for _, psi := range []float64{0, 0.5, 1.2, math.Pi / 2} {
+		got := CircularPatch.MismatchLossDB(0, DirectionalPatch, psi)
+		if math.Abs(got+3.01) > 0.35 {
+			t.Errorf("circular→linear at %v = %v dB, want ≈-3", psi, got)
+		}
+	}
+}
+
+func TestMalusCurveWithLeakage(t *testing.T) {
+	// Sweeping relative orientation 0→90° reproduces Fig. 12(a)'s
+	// monotone power decay.
+	prev := 0.1
+	first := true
+	for deg := 0.0; deg <= 90; deg += 15 {
+		plf := jones.PLF(
+			DirectionalPatch.PolarizationState(0),
+			DirectionalPatch.PolarizationState(units.Radians(deg)),
+		)
+		if !first && plf >= prev {
+			t.Errorf("PLF not decreasing at %v°: %v after %v", deg, plf, prev)
+		}
+		prev = plf
+		first = false
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(DirectionalPatch.String(), "directional") {
+		t.Error("model String should include pattern")
+	}
+	if Omnidirectional.String() != "omnidirectional" {
+		t.Error("pattern String")
+	}
+}

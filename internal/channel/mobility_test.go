@@ -1,0 +1,167 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestStaticPose(t *testing.T) {
+	p := StaticPose(0.7)
+	for _, tm := range []time.Duration{0, time.Second, time.Hour} {
+		if p.OrientationAt(tm) != 0.7 {
+			t.Fatal("static pose moved")
+		}
+	}
+}
+
+func TestArmSwingShape(t *testing.T) {
+	a := ArmSwing{MeanRad: 1.0, AmplitudeRad: 0.5, PeriodS: 1}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean at t=0 (sin 0 = 0), peak at quarter period.
+	if got := a.OrientationAt(0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("swing at 0 = %v", got)
+	}
+	if got := a.OrientationAt(250 * time.Millisecond); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("swing at T/4 = %v, want 1.5", got)
+	}
+	// Periodicity.
+	if math.Abs(a.OrientationAt(time.Second)-a.OrientationAt(2*time.Second)) > 1e-9 {
+		t.Error("swing not periodic")
+	}
+	// Bounded within mean ± amplitude.
+	for ms := 0; ms < 2000; ms += 37 {
+		v := a.OrientationAt(time.Duration(ms) * time.Millisecond)
+		if v < 0.5-1e-9 || v > 1.5+1e-9 {
+			t.Fatalf("swing out of bounds: %v", v)
+		}
+	}
+}
+
+func TestArmSwingValidate(t *testing.T) {
+	if err := (ArmSwing{AmplitudeRad: -1, PeriodS: 1}).Validate(); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+	if err := (ArmSwing{AmplitudeRad: 1, PeriodS: 0}).Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestRandomWalkPose(t *testing.T) {
+	w, err := NewRandomWalkPose(0.8, 0.02, 0.05, 10*time.Millisecond, 10*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic per seed.
+	w2, err := NewRandomWalkPose(0.8, 0.02, 0.05, 10*time.Millisecond, 10*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []time.Duration{0, time.Second, 5 * time.Second} {
+		if w.OrientationAt(tm) != w2.OrientationAt(tm) {
+			t.Fatal("same-seed walks differ")
+		}
+	}
+	// Stays near the mean (mean reversion).
+	var worst float64
+	for ms := 0; ms < 10000; ms += 10 {
+		d := math.Abs(w.OrientationAt(time.Duration(ms)*time.Millisecond) - 0.8)
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.0 {
+		t.Errorf("walk wandered %v rad from mean", worst)
+	}
+	// Clamps beyond horizon and before zero.
+	if w.OrientationAt(time.Hour) != w.OrientationAt(10*time.Second) {
+		t.Error("beyond-horizon should clamp")
+	}
+	if w.OrientationAt(-time.Second) != w.OrientationAt(0) {
+		t.Error("negative time should clamp to start")
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	if _, err := NewRandomWalkPose(0, -1, 0.1, time.Millisecond, time.Second, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewRandomWalkPose(0, 0.1, 2, time.Millisecond, time.Second, 1); err == nil {
+		t.Error("reversion > 1 accepted")
+	}
+	if _, err := NewRandomWalkPose(0, 0.1, 0.1, 0, time.Second, 1); err == nil {
+		t.Error("zero tick accepted")
+	}
+}
+
+func TestTurntable(t *testing.T) {
+	tt := Turntable{StartRad: 0, RateRadPerS: math.Pi / 2}
+	if got := tt.OrientationAt(2 * time.Second); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("turntable at 2 s = %v, want π", got)
+	}
+}
+
+func TestMismatchTimelineAndAvailability(t *testing.T) {
+	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf.SetBias(8, 8)
+	sc := DefaultScene(surf, 0.48)
+	// Swing through match and mismatch once per second.
+	swing := ArmSwing{MeanRad: math.Pi / 4, AmplitudeRad: math.Pi / 4, PeriodS: 1}
+	tl := MismatchTimeline(sc, swing, 50*time.Millisecond, 2*time.Second)
+	if len(tl) != 41 {
+		t.Fatalf("timeline samples = %d", len(tl))
+	}
+	// Power must actually vary with the swing.
+	min, max := tl[0], tl[0]
+	for _, p := range tl {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 3 {
+		t.Errorf("swing produced only %v dB of variation", max-min)
+	}
+	// Availability is monotone in the threshold.
+	if !(Availability(tl, min-1) == 1) {
+		t.Error("everything should clear a below-min threshold")
+	}
+	if !(Availability(tl, max+1) == 0) {
+		t.Error("nothing should clear an above-max threshold")
+	}
+	mid := Availability(tl, (min+max)/2)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("mid-threshold availability = %v", mid)
+	}
+	if Availability(nil, -50) != 0 {
+		t.Error("empty timeline availability should be 0")
+	}
+}
+
+func TestMismatchTimelinePanics(t *testing.T) {
+	sc := DefaultScene(nil, 0.48)
+	for _, f := range []func(){
+		func() { MismatchTimeline(sc, nil, time.Millisecond, time.Second) },
+		func() { MismatchTimeline(sc, StaticPose(0), 0, time.Second) },
+		func() { MismatchTimeline(sc, StaticPose(0), time.Millisecond, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,209 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// quadraticLandscape returns a smooth power surface peaking at (px, py).
+func quadraticLandscape(px, py float64) func(vx, vy float64) float64 {
+	return func(vx, vy float64) float64 {
+		return -20 - 0.08*((vx-px)*(vx-px)+(vy-py)*(vy-py))
+	}
+}
+
+// landscapeHarness adapts a pure function to Actuator+Sensor.
+type landscapeHarness struct {
+	f        func(vx, vy float64) float64
+	vx, vy   float64
+	applies  int
+	measures int
+}
+
+func (h *landscapeHarness) Apply(vx, vy float64) error {
+	h.vx, h.vy = vx, vy
+	h.applies++
+	return nil
+}
+
+func (h *landscapeHarness) Measure() (float64, error) {
+	h.measures++
+	return h.f(h.vx, h.vy), nil
+}
+
+func TestSweepConfigValidate(t *testing.T) {
+	if err := DefaultSweepConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SweepConfig{
+		{Iterations: 0, Switches: 5, VMin: 0, VMax: 30, SwitchPeriod: time.Millisecond},
+		{Iterations: 2, Switches: 1, VMin: 0, VMax: 30, SwitchPeriod: time.Millisecond},
+		{Iterations: 2, Switches: 5, VMin: 30, VMax: 0, SwitchPeriod: time.Millisecond},
+		{Iterations: 2, Switches: 5, VMin: 0, VMax: 30, SwitchPeriod: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTimeCostMatchesPaperFormula(t *testing.T) {
+	// §3.3: time cost is 0.02·N·T² seconds; N=2, T=5 → 1 s.
+	cfg := DefaultSweepConfig()
+	if got := cfg.TimeCost(); got != time.Second {
+		t.Errorf("time cost = %v, want 1 s", got)
+	}
+}
+
+func TestCoarseToFineFindsQuadraticPeak(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(18, 7)}
+	cfg := DefaultSweepConfig()
+	cfg.Iterations = 3
+	res, err := CoarseToFine(context.Background(), cfg, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BestVx-18) > 3 || math.Abs(res.BestVy-7) > 3 {
+		t.Errorf("found (%v, %v), want ≈(18, 7)", res.BestVx, res.BestVy)
+	}
+	// Measurement budget: N·T² per the paper.
+	if want := cfg.Iterations * cfg.Switches * cfg.Switches; len(res.Samples) != want {
+		t.Errorf("samples = %d, want %d", len(res.Samples), want)
+	}
+}
+
+func TestCoarseToFineOnRealSurfaceLandscape(t *testing.T) {
+	// Drive the actual metasurface + mismatch-link physics: the sweep
+	// must find a bias within a few dB of the global best found by a
+	// fine exhaustive scan.
+	surf := metasurface.MustNew(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	measure := func(vx, vy float64) float64 {
+		surf.SetBias(vx, vy)
+		m := surf.JonesTransmissive(units.DefaultCarrierHz)
+		// Mismatched link: V-pol in, H-pol out.
+		e := m.MulVec(vec(0, 1))
+		p := real(e.X)*real(e.X) + imag(e.X)*imag(e.X)
+		return units.LinearToDB(p)
+	}
+	h := &landscapeHarness{f: measure}
+	res, err := CoarseToFine(context.Background(), DefaultSweepConfig(), h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive reference.
+	best := math.Inf(-1)
+	for vx := 0.0; vx <= 30; vx += 0.5 {
+		for vy := 0.0; vy <= 30; vy += 0.5 {
+			if p := measure(vx, vy); p > best {
+				best = p
+			}
+		}
+	}
+	if best-res.BestPowerDBm > 3 {
+		t.Errorf("sweep found %v dB, exhaustive best %v dB (gap > 3 dB)", res.BestPowerDBm, best)
+	}
+}
+
+func vec(x, y complex128) (v struct{ X, Y complex128 }) {
+	v.X, v.Y = x, y
+	return
+}
+
+func TestCoarseToFineRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := &landscapeHarness{f: quadraticLandscape(10, 10)}
+	if _, err := CoarseToFine(ctx, DefaultSweepConfig(), h, h); err == nil {
+		t.Error("canceled context should abort the sweep")
+	}
+}
+
+func TestCoarseToFinePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	act := ActuatorFunc(func(vx, vy float64) error { return boom })
+	sen := SensorFunc(func() (float64, error) { return 0, nil })
+	if _, err := CoarseToFine(context.Background(), DefaultSweepConfig(), act, sen); !errors.Is(err, boom) {
+		t.Errorf("actuator error not propagated: %v", err)
+	}
+	act2 := ActuatorFunc(func(vx, vy float64) error { return nil })
+	sen2 := SensorFunc(func() (float64, error) { return 0, boom })
+	if _, err := CoarseToFine(context.Background(), DefaultSweepConfig(), act2, sen2); !errors.Is(err, boom) {
+		t.Errorf("sensor error not propagated: %v", err)
+	}
+}
+
+func TestFullScanExhaustive(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(12, 24)}
+	cfg := DefaultSweepConfig()
+	res, err := FullScan(context.Background(), cfg, 1, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 31×31 grid.
+	if len(res.Samples) != 961 {
+		t.Errorf("samples = %d, want 961", len(res.Samples))
+	}
+	if math.Abs(res.BestVx-12) > 0.5 || math.Abs(res.BestVy-24) > 0.5 {
+		t.Errorf("full scan found (%v, %v)", res.BestVx, res.BestVy)
+	}
+	// ~19 s at 50 Hz — the paper's "full scan takes ∼30 s" regime.
+	if el := res.Elapsed(20 * time.Millisecond); el < 15*time.Second || el > 40*time.Second {
+		t.Errorf("full scan elapsed = %v", el)
+	}
+}
+
+func TestFullScanRejectsBadStep(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(1, 1)}
+	if _, err := FullScan(context.Background(), DefaultSweepConfig(), 0, h, h); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestCoarseToFineBeatsFullScanTime(t *testing.T) {
+	sum, err := CompareSweepTimes(DefaultSweepConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CoarseToFine != time.Second {
+		t.Errorf("coarse-to-fine = %v", sum.CoarseToFine)
+	}
+	if sum.Speedup < 15 {
+		t.Errorf("speedup = %v, want ≈19×", sum.Speedup)
+	}
+}
+
+func TestCoordinateDescentOnSmoothLandscape(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(22, 9)}
+	res, err := CoordinateDescent(context.Background(), DefaultSweepConfig(), 2, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BestVx-22) > 2.5 || math.Abs(res.BestVy-9) > 2.5 {
+		t.Errorf("descent found (%v, %v), want ≈(22, 9)", res.BestVx, res.BestVy)
+	}
+}
+
+func TestCoordinateDescentRejectsBadRounds(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(1, 1)}
+	if _, err := CoordinateDescent(context.Background(), DefaultSweepConfig(), 0, h, h); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestSweepLeavesSurfaceAtOptimum(t *testing.T) {
+	h := &landscapeHarness{f: quadraticLandscape(18, 6)}
+	res, err := CoarseToFine(context.Background(), DefaultSweepConfig(), h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.vx != res.BestVx || h.vy != res.BestVy {
+		t.Errorf("surface left at (%v, %v), best was (%v, %v)", h.vx, h.vy, res.BestVx, res.BestVy)
+	}
+}

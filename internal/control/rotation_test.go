@@ -1,0 +1,111 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// surfaceTurntable builds a PowerAt callback backed by the real surface
+// and channel models: the §3.4 lab bench in software.
+func surfaceTurntable(t *testing.T) (PowerAt, *metasurface.Surface) {
+	t.Helper()
+	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := channel.DefaultScene(surf, 0.48)
+	sc.Tx.Orientation = 0 // matched setup, as in Fig. 12(b-d)
+	return func(rxAngle, vx, vy float64) (float64, error) {
+		surf.SetBias(vx, vy)
+		sc.Rx.Orientation = rxAngle
+		return sc.ReceivedPowerDBm(), nil
+	}, surf
+}
+
+func TestEstimateRotationOnRealSurface(t *testing.T) {
+	measure, _ := surfaceTurntable(t)
+	cfg := DefaultRotationEstimateConfig()
+	cfg.AngleStepDeg = 2
+	est, err := EstimateRotation(context.Background(), cfg, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 12(d): rotation range ≈5°–45° in the matched setup.
+	if est.MaxRotationDeg < 25 || est.MaxRotationDeg > 65 {
+		t.Errorf("max rotation = %v°, want ≈45°", est.MaxRotationDeg)
+	}
+	if est.MinRotationDeg > est.MaxRotationDeg {
+		t.Error("min rotation exceeds max")
+	}
+	if est.MinRotationDeg > 25 {
+		t.Errorf("min rotation = %v°, want small", est.MinRotationDeg)
+	}
+	if est.Switches == 0 {
+		t.Error("procedure should consume actuations")
+	}
+}
+
+func TestEstimateRotationValidation(t *testing.T) {
+	measure := PowerAt(func(a, x, y float64) (float64, error) { return 0, nil })
+	cfg := DefaultRotationEstimateConfig()
+	cfg.AngleStepDeg = 0
+	if _, err := EstimateRotation(context.Background(), cfg, measure); err == nil {
+		t.Error("zero angle step accepted")
+	}
+	cfg = DefaultRotationEstimateConfig()
+	cfg.Sweep.Iterations = 0
+	if _, err := EstimateRotation(context.Background(), cfg, measure); err == nil {
+		t.Error("bad sweep accepted")
+	}
+	if _, err := EstimateRotation(context.Background(), DefaultRotationEstimateConfig(), nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestEstimateRotationPropagatesMeasureErrors(t *testing.T) {
+	boom := errors.New("turntable jammed")
+	measure := PowerAt(func(a, x, y float64) (float64, error) { return 0, boom })
+	if _, err := EstimateRotation(context.Background(), DefaultRotationEstimateConfig(), measure); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestEstimateRotationHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	measure := PowerAt(func(a, x, y float64) (float64, error) { return 0, nil })
+	if _, err := EstimateRotation(ctx, DefaultRotationEstimateConfig(), measure); err == nil {
+		t.Error("canceled context should abort")
+	}
+}
+
+func TestFoldedDegrees(t *testing.T) {
+	cases := []struct{ rad, deg float64 }{
+		{0, 0},
+		{math.Pi / 4, 45},
+		{math.Pi / 2, 90},
+		{3 * math.Pi / 4, 45}, // 135° folds to 45°
+		{-math.Pi / 4, 45},
+		{math.Pi, 0}, // 180° is the same orientation
+	}
+	for _, c := range cases {
+		if got := foldedDegrees(c.rad); math.Abs(got-c.deg) > 1e-9 {
+			t.Errorf("foldedDegrees(%v) = %v, want %v", c.rad, got, c.deg)
+		}
+	}
+}
+
+func TestCompareSweepTimesValidation(t *testing.T) {
+	if _, err := CompareSweepTimes(SweepConfig{}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := CompareSweepTimes(DefaultSweepConfig(), 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/llama-surface/llama/internal/telemetry"
+)
+
+// SyncConfig implements the paper's Eq. (13) sample-labelling scheme: the
+// receiver's sample clock and the supply's switch clock are both constant
+// rate, so a sample at time t can be attributed to the voltage state that
+// was active, without any dedicated synchronization hardware.
+type SyncConfig struct {
+	// Vx0, Vy0 are the sweep's initial voltages at switch index 0.
+	Vx0, Vy0 float64
+	// VDx, VDy are the per-switch voltage increments (the VD terms).
+	VDx, VDy float64
+	// SwitchPeriod is Ts, the dwell per voltage state.
+	SwitchPeriod time.Duration
+	// StartOffset is td, the receiver-vs-supply start time difference.
+	StartOffset time.Duration
+	// States is the total number of voltage states in the schedule;
+	// times beyond the schedule clamp to the last state.
+	States int
+}
+
+// Validate reports an error for unusable sync parameters.
+func (s SyncConfig) Validate() error {
+	if s.SwitchPeriod <= 0 {
+		return errors.New("control: non-positive switch period")
+	}
+	if s.States < 1 {
+		return errors.New("control: sync needs ≥1 state")
+	}
+	return nil
+}
+
+// StateIndex returns the voltage-state index active at receiver time t.
+// Samples before the schedule start map to state 0.
+func (s SyncConfig) StateIndex(t time.Duration) int {
+	rel := t - s.StartOffset
+	if rel < 0 {
+		return 0
+	}
+	idx := int(rel / s.SwitchPeriod)
+	if idx >= s.States {
+		idx = s.States - 1
+	}
+	return idx
+}
+
+// VoltageAt returns the (Vx, Vy) state active at receiver time t — Eq. 13
+// evaluated at the labelled switch index.
+func (s SyncConfig) VoltageAt(t time.Duration) (vx, vy float64) {
+	k := float64(s.StateIndex(t))
+	return s.Vx0 + s.VDx*k, s.Vy0 + s.VDy*k
+}
+
+// LabelReports groups RSSI reports by voltage state and returns the mean
+// power (dBm domain averaged in linear power, as the paper measures) per
+// state. States with no samples hold NaN.
+func (s SyncConfig) LabelReports(reports []telemetry.Report) []float64 {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	sums := make([]float64, s.States)
+	counts := make([]int, s.States)
+	for _, r := range reports {
+		idx := s.StateIndex(r.Timestamp)
+		sums[idx] += math.Pow(10, r.RSSIdBm/10) // mW
+		counts[idx]++
+	}
+	out := make([]float64, s.States)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = 10 * math.Log10(sums[i]/float64(counts[i]))
+	}
+	return out
+}
+
+// EstimateOffset recovers td from a labelled sweep recording: it scans
+// candidate offsets over one switch period and picks the one minimizing
+// the within-state power variance (samples grouped correctly are
+// homogeneous; a misaligned grouping mixes adjacent states). resolution
+// sets the scan granularity.
+func (s SyncConfig) EstimateOffset(reports []telemetry.Report, resolution time.Duration) (time.Duration, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if resolution <= 0 || resolution > s.SwitchPeriod {
+		return 0, fmt.Errorf("control: bad offset resolution %v", resolution)
+	}
+	if len(reports) == 0 {
+		return 0, errors.New("control: no reports to align")
+	}
+	best := time.Duration(0)
+	bestScore := math.Inf(1)
+	for off := time.Duration(0); off < s.SwitchPeriod; off += resolution {
+		trial := s
+		trial.StartOffset = off
+		score := trial.withinStateVariance(reports)
+		if score < bestScore {
+			bestScore, best = score, off
+		}
+	}
+	return best, nil
+}
+
+// withinStateVariance sums the per-state power variance (linear domain).
+func (s SyncConfig) withinStateVariance(reports []telemetry.Report) float64 {
+	sums := make([]float64, s.States)
+	sqs := make([]float64, s.States)
+	counts := make([]float64, s.States)
+	for _, r := range reports {
+		idx := s.StateIndex(r.Timestamp)
+		p := math.Pow(10, r.RSSIdBm/10)
+		sums[idx] += p
+		sqs[idx] += p * p
+		counts[idx]++
+	}
+	var total float64
+	for i := range sums {
+		if counts[i] < 2 {
+			continue
+		}
+		mean := sums[i] / counts[i]
+		total += sqs[i]/counts[i] - mean*mean
+	}
+	return total
+}

@@ -1,0 +1,246 @@
+package control
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// driftBench wires a tracker to the real surface + channel physics with a
+// mutable Tx orientation, simulating a moving device.
+type driftBench struct {
+	surf  *metasurface.Surface
+	scene *channel.Scene
+}
+
+func newDriftBench(t *testing.T) *driftBench {
+	t.Helper()
+	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &driftBench{surf: surf, scene: channel.DefaultScene(surf, 0.48)}
+}
+
+func (b *driftBench) actuator() Actuator {
+	return ActuatorFunc(func(vx, vy float64) error {
+		b.surf.SetBias(vx, vy)
+		return nil
+	})
+}
+
+func (b *driftBench) sensor() Sensor {
+	return SensorFunc(func() (float64, error) {
+		return b.scene.ReceivedPowerDBm(), nil
+	})
+}
+
+func TestTrackerConfigValidate(t *testing.T) {
+	if err := DefaultTrackerConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*TrackerConfig){
+		func(c *TrackerConfig) { c.Sweep.Iterations = 0 },
+		func(c *TrackerConfig) { c.RefineWindowV = 0 },
+		func(c *TrackerConfig) { c.RefineSteps = 1 },
+		func(c *TrackerConfig) { c.HoldToleranceDB = 0 },
+		func(c *TrackerConfig) { c.ResweepThresholdDB = 0.5 },
+	}
+	for i, mut := range mutations {
+		c := DefaultTrackerConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	b := newDriftBench(t)
+	if _, err := NewTracker(DefaultTrackerConfig(), nil, b.sensor()); err == nil {
+		t.Error("nil actuator accepted")
+	}
+	if _, err := NewTracker(TrackerConfig{}, b.actuator(), b.sensor()); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestTrackerRequiresStart(t *testing.T) {
+	b := newDriftBench(t)
+	tr, err := NewTracker(DefaultTrackerConfig(), b.actuator(), b.sensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Step(context.Background()); err == nil {
+		t.Error("step before start accepted")
+	}
+}
+
+func TestTrackerHoldsWhenStable(t *testing.T) {
+	b := newDriftBench(t)
+	tr, err := NewTracker(DefaultTrackerConfig(), b.actuator(), b.sensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Stats().Switches
+	for i := 0; i < 5; i++ {
+		action, _, err := tr.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if action != ActionHold {
+			t.Fatalf("stable link triggered %v", action)
+		}
+	}
+	if tr.Stats().Switches != before {
+		t.Error("hold tier should spend no switches")
+	}
+	if tr.Stats().Holds != 5 {
+		t.Errorf("holds = %d", tr.Stats().Holds)
+	}
+}
+
+func TestTrackerRefinesOnMildDrift(t *testing.T) {
+	b := newDriftBench(t)
+	cfg := DefaultTrackerConfig()
+	tr, err := NewTracker(cfg, b.actuator(), b.sensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Mild drift: rotate the Tx element away from the optimum until the
+	// link drops into the refine band (between hold tolerance and the
+	// re-sweep threshold). The direction that degrades depends on where
+	// the sweep's optimum rotation landed, so probe adaptively.
+	ref := tr.ReferenceDBm()
+	drifted := false
+	for _, sign := range []float64{+1, -1} {
+		start := b.scene.Tx.Orientation
+		for deg := 4.0; deg <= 40; deg += 4 {
+			b.scene.Tx.Orientation = start + sign*units.Radians(deg)
+			drop := ref - b.scene.ReceivedPowerDBm()
+			if drop > cfg.HoldToleranceDB+0.5 && drop < cfg.ResweepThresholdDB-0.5 {
+				drifted = true
+				break
+			}
+		}
+		if drifted {
+			break
+		}
+		b.scene.Tx.Orientation = start
+	}
+	if !drifted {
+		t.Skip("could not construct a mild-drift pose for this optimum")
+	}
+	action, _, err := tr.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionRefine {
+		t.Fatalf("mild drift handled by %v, want refine", action)
+	}
+	// After handling, the next step should hold again.
+	action, _, err = tr.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionHold {
+		t.Errorf("post-recovery step took %v", action)
+	}
+}
+
+func TestTrackerResweepsOnSevereDrift(t *testing.T) {
+	b := newDriftBench(t)
+	tr, err := NewTracker(DefaultTrackerConfig(), b.actuator(), b.sensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := tr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	refBefore := tr.ReferenceDBm()
+	// Severe drift: swing the device a full 60°.
+	b.scene.Tx.Orientation -= units.Radians(60)
+	action, p, err := tr.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionResweep {
+		t.Fatalf("severe drift handled by %v", action)
+	}
+	if tr.Stats().Resweeps < 2 { // start + this one
+		t.Errorf("resweeps = %d", tr.Stats().Resweeps)
+	}
+	// The recovered power should be within a few dB of the old optimum
+	// (the surface can rotate either way).
+	if refBefore-p > 8 {
+		t.Errorf("recovered only to %v dBm from %v", p, refBefore)
+	}
+}
+
+func TestTrackerRefineCheaperThanSweep(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	sweepCost := cfg.Sweep.Iterations*cfg.Sweep.Switches*cfg.Sweep.Switches + 1
+	if cfg.RefineCost() >= sweepCost {
+		t.Errorf("refine cost %d should undercut sweep cost %d", cfg.RefineCost(), sweepCost)
+	}
+}
+
+func TestTrackerBudget(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	stats := TrackerStats{Switches: 100}
+	if got := cfg.TrackingBudget(stats, 10e9); math.Abs(got-10) > 1e-9 {
+		t.Errorf("budget = %v switches/s", got)
+	}
+	if cfg.TrackingBudget(stats, 0) != 0 {
+		t.Error("zero elapsed should be zero budget")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionHold.String() != "hold" || ActionRefine.String() != "refine" || ActionResweep.String() != "re-sweep" {
+		t.Error("action strings")
+	}
+}
+
+func TestTrackerArmSwingScenario(t *testing.T) {
+	// End-to-end wearable story: a sequence of arm poses; the tracker
+	// must keep the link within a few dB of each pose's achievable
+	// optimum while spending far fewer switches than re-sweeping every
+	// pose.
+	b := newDriftBench(t)
+	tr, err := NewTracker(DefaultTrackerConfig(), b.actuator(), b.sensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := tr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	poses := []float64{90, 88, 85, 95, 70, 72, 110, 90}
+	for _, deg := range poses {
+		b.scene.Tx.Orientation = units.Radians(deg)
+		if _, _, err := tr.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := tr.Stats()
+	everyPoseSweep := (len(poses) + 1) * 51 // sweeps + applies
+	if stats.Switches >= everyPoseSweep {
+		t.Errorf("tracker spent %d switches; naive re-sweep-every-pose would be %d",
+			stats.Switches, everyPoseSweep)
+	}
+	if stats.Holds == 0 {
+		t.Error("expected some holds across small pose changes")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/control"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/psu"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.TxPowerW != 10e-3 || cfg.SamplesPerMeasure != 256 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.SwitchPeriod != psu.MinSwitchInterval {
+		t.Errorf("switch period = %v", cfg.SwitchPeriod)
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	bad := Config{Seed: 1}
+	bad.Design = metasurface.OptimizedFR4Design(2.44e9)
+	bad.Design.BFSLayers = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("invalid design accepted")
+	}
+	geomBad := Config{Seed: 1, Geom: channel.Geometry{TxRx: -1, TxSurface: 1, SurfaceRx: 1}}
+	if _, err := NewSystem(geomBad); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestActuatorAdvancesVirtualTime(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := sys.Actuator()
+	start := sys.Clock.Now()
+	if err := act.Apply(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Clock.Now() - start; got != psu.MinSwitchInterval {
+		t.Errorf("actuation advanced %v, want %v", got, psu.MinSwitchInterval)
+	}
+	vx, vy := sys.Surface.Bias()
+	if vx != 5 || vy != 7 {
+		t.Errorf("surface bias = (%v, %v)", vx, vy)
+	}
+}
+
+func TestActuatorRespectsSupplyRate(t *testing.T) {
+	// Two applies in a row must both succeed: the dwell between them
+	// satisfies the 50 Hz limit.
+	sys, err := NewSystem(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := sys.Actuator()
+	for i := 0; i < 5; i++ {
+		if err := act.Apply(float64(i*3), float64(30-i*3)); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+}
+
+func TestMeasureRSSITracksScene(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Actuator().Apply(2, 15); err != nil {
+		t.Fatal(err)
+	}
+	// The block estimate should sit near the scene's analytic power
+	// (within estimator noise).
+	want := sys.CurrentDBm()
+	got := sys.MeasureRSSI()
+	if math.Abs(got-want) > 2.5 {
+		t.Errorf("RSSI estimate %v dBm vs analytic %v dBm", got, want)
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Optimize(context.Background(), control.DefaultSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := sys.CurrentDBm() - sys.BaselineDBm()
+	if gain < 6 {
+		t.Errorf("closed-loop gain = %v dB, want ≥ 6 (paper: up to 15)", gain)
+	}
+	// Virtual time cost matches the paper's 0.02·N·T² = 1 s model (plus
+	// the final apply).
+	if el := res.Elapsed(sys.Config().SwitchPeriod); el < time.Second || el > 1200*time.Millisecond {
+		t.Errorf("sweep took %v of virtual time, want ≈1 s", el)
+	}
+}
+
+func TestFullScanEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.FullScan(context.Background(), control.DefaultSweepConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 49 {
+		t.Errorf("samples = %d, want 7×7", len(res.Samples))
+	}
+}
+
+func TestNetworkedSystemEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ns, err := StartNetworked(ctx, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	idn, err := ns.InstrumentID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(idn, "2230G") {
+		t.Errorf("IDN = %q", idn)
+	}
+
+	cfg := control.DefaultSweepConfig()
+	res, err := ns.Optimize(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPowerDBm == 0 || len(res.Samples) != cfg.Iterations*cfg.Switches*cfg.Switches {
+		t.Errorf("networked sweep shape: %d samples, best %v dBm", len(res.Samples), res.BestPowerDBm)
+	}
+	gain := ns.CurrentDBm() - ns.BaselineDBm()
+	if gain < 5 {
+		t.Errorf("networked closed-loop gain = %v dB, want ≥ 5", gain)
+	}
+	if ns.LostReports() != 0 {
+		t.Errorf("lost %d telemetry reports on loopback", ns.LostReports())
+	}
+}
+
+func TestNetworkedSystemClosesCleanly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ns, err := StartNetworked(ctx, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/llama-surface/llama/internal/control"
+	"github.com/llama-surface/llama/internal/scpi"
+	"github.com/llama-surface/llama/internal/telemetry"
+)
+
+// NetworkedSystem runs the same closed loop as System but over real
+// sockets on the loopback interface:
+//
+//   - the controller programs the bias supply through an SCPI/TCP session
+//     (the byte-level equivalent of the paper's Python-VISA script), and
+//   - the receiver streams RSSI reports to the controller over the binary
+//     UDP telemetry protocol.
+//
+// Virtual time still paces the physics (supply slew, switch rate); only
+// the control-plane bytes travel through the kernel.
+type NetworkedSystem struct {
+	*System
+
+	server    *scpi.Server
+	client    *scpi.Client
+	collector *telemetry.Collector
+	reporter  *telemetry.Reporter
+}
+
+// StartNetworked builds the system and brings up both network legs.
+// Close must be called to release the sockets.
+func StartNetworked(ctx context.Context, cfg Config) (*NetworkedSystem, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NetworkedSystem{System: sys}
+
+	tree := scpi.NewTree()
+	scpi.Bind(tree, sys.Supply, func() time.Duration { return sys.Clock.Now() })
+	ns.server = scpi.NewServer(tree)
+	addr, err := ns.server.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ns.client, err = scpi.Dial(ctx, addr)
+	if err != nil {
+		ns.Close()
+		return nil, err
+	}
+	ns.collector, err = telemetry.NewCollector("127.0.0.1:0")
+	if err != nil {
+		ns.Close()
+		return nil, err
+	}
+	ns.reporter, err = telemetry.NewReporter(ns.collector.Addr())
+	if err != nil {
+		ns.Close()
+		return nil, err
+	}
+	return ns, nil
+}
+
+// InstrumentID queries the supply's *IDN? over the wire.
+func (ns *NetworkedSystem) InstrumentID() (string, error) {
+	return ns.client.Query("*IDN?")
+}
+
+// Actuator programs both bias channels through the SCPI session, checks
+// the instrument error queue, advances virtual time one switch period and
+// refreshes the surface from the settled supply outputs.
+func (ns *NetworkedSystem) Actuator() control.Actuator {
+	return control.ActuatorFunc(func(vx, vy float64) error {
+		if err := ns.client.Send(fmt.Sprintf("APPL CH1,%.3f", vx)); err != nil {
+			return err
+		}
+		if err := ns.client.Send(fmt.Sprintf("APPL CH2,%.3f", vy)); err != nil {
+			return err
+		}
+		// SYST:ERR? doubles as the pipeline flush: by the time it
+		// answers, both APPLy commands have executed.
+		errq, err := ns.client.Query("SYST:ERR?")
+		if err != nil {
+			return err
+		}
+		// The second APPLy lands within the 50 Hz window of the first —
+		// the instrument reports -213 (init ignored) for it, exactly as
+		// the real 2230G would if driven too fast. LLAMA's controller
+		// treats the pair as one switch event: re-issue after the dwell.
+		ns.Clock.RunFor(ns.cfg.SwitchPeriod)
+		if strings.Contains(errq, "-213") {
+			if err := ns.client.Send(fmt.Sprintf("APPL CH2,%.3f", vy)); err != nil {
+				return err
+			}
+			if errq2, err := ns.client.Query("SYST:ERR?"); err != nil {
+				return err
+			} else if !strings.Contains(errq2, "No error") {
+				return fmt.Errorf("core: instrument error: %s", errq2)
+			}
+			ns.Clock.RunFor(ns.cfg.SwitchPeriod)
+		} else if !strings.Contains(errq, "No error") {
+			return fmt.Errorf("core: instrument error: %s", errq)
+		}
+		return ns.applySupplyToSurface()
+	})
+}
+
+// Sensor measures RSSI on the receiver side, ships it through the UDP
+// telemetry leg, and hands the controller the collected report.
+func (ns *NetworkedSystem) Sensor() control.Sensor {
+	return control.SensorFunc(func() (float64, error) {
+		rssi := ns.MeasureRSSI()
+		if err := ns.reporter.Report(ns.Clock.Now(), rssi, telemetry.FlagSweepActive); err != nil {
+			return 0, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		rep, err := ns.collector.Next(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return rep.RSSIdBm, nil
+	})
+}
+
+// Optimize runs Algorithm 1 with the networked actuator and sensor.
+func (ns *NetworkedSystem) Optimize(ctx context.Context, cfg control.SweepConfig) (control.Result, error) {
+	return control.CoarseToFine(ctx, cfg, ns.Actuator(), ns.Sensor())
+}
+
+// LostReports returns the telemetry loss counter.
+func (ns *NetworkedSystem) LostReports() int { return ns.collector.Lost() }
+
+// Close tears down the sockets. Safe to call on a partially started
+// system.
+func (ns *NetworkedSystem) Close() error {
+	var first error
+	if ns.reporter != nil {
+		if err := ns.reporter.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if ns.collector != nil {
+		if err := ns.collector.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if ns.client != nil {
+		if err := ns.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if ns.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := ns.server.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

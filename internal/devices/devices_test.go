@@ -1,0 +1,192 @@
+package devices
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/signal"
+	"github.com/llama-surface/llama/internal/simclock"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestPrefabRadiosValidate(t *testing.T) {
+	for _, r := range []Radio{USRPN210, NetgearAP, ESP8266, MetaMotionR, RaspberryPi3} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadRadios(t *testing.T) {
+	bad := []Radio{
+		{Name: "freq", Antenna: ESP8266.Antenna, FreqHz: 0},
+		{Name: "rssi", Antenna: ESP8266.Antenna, FreqHz: 2.4e9, RSSIStepDB: -1},
+		{Name: "jit", Antenna: ESP8266.Antenna, FreqHz: 2.4e9, OrientationJitterRad: -0.1},
+		{Name: "ant", Antenna: ESP8266.Antenna, FreqHz: 2.4e9},
+	}
+	bad[3].Antenna.GainDBi = 99
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s should fail", r.Name)
+		}
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	sc := channel.DefaultScene(nil, 2.0)
+	if _, err := NewLink(NetgearAP, ESP8266, 0, math.Pi/2, sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLink(NetgearAP, ESP8266, 0, 0, nil); err == nil {
+		t.Error("nil scene accepted")
+	}
+	badRx := ESP8266
+	badRx.FreqHz = 0
+	if _, err := NewLink(NetgearAP, badRx, 0, 0, sc); err == nil {
+		t.Error("bad radio accepted")
+	}
+}
+
+func TestFig2MismatchGap(t *testing.T) {
+	// Fig. 2(a): the Wi-Fi link's matched and mismatched RSSI
+	// distributions are separated by ≈10 dB.
+	sc := channel.DefaultScene(nil, 2.0)
+	rng := simclock.RNG(1, "fig2")
+	matched, err := NewLink(NetgearAP, ESP8266, 0, 0, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := NewLink(NetgearAP, ESP8266, 0, math.Pi/2, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, _ := signal.MeanAndStd(matched.SampleRSSI(600, rng))
+	xm, _ := signal.MeanAndStd(mismatched.SampleRSSI(600, rng))
+	gap := mm - xm
+	if gap < 8 || gap > 25 {
+		t.Errorf("Wi-Fi match/mismatch gap = %v dB, want ≈10–15", gap)
+	}
+}
+
+func TestFig2BLEGap(t *testing.T) {
+	// Fig. 2(b): BLE wearable ↔ RPi.
+	sc := channel.DefaultScene(nil, 2.0)
+	sc.Env = channel.Laboratory(3, 6) // the BLE benchmark ran indoors
+	rng := simclock.RNG(2, "fig2b")
+	matched, err := NewLink(MetaMotionR, RaspberryPi3, 0, 0, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := NewLink(MetaMotionR, RaspberryPi3, 0, math.Pi/2, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, _ := signal.MeanAndStd(matched.SampleRSSI(600, rng))
+	xm, _ := signal.MeanAndStd(mismatched.SampleRSSI(600, rng))
+	if gap := mm - xm; gap < 5 {
+		t.Errorf("BLE gap = %v dB, want ≥ 5 (Fig. 2b shows ≈10)", gap)
+	}
+}
+
+func TestRSSIQuantization(t *testing.T) {
+	sc := channel.DefaultScene(nil, 1.0)
+	rx := ESP8266
+	rx.RSSIStepDB = 1
+	rx.RSSINoiseDB = 0
+	link, err := NewLink(NetgearAP, rx, 0, 0, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simclock.RNG(4, "quant")
+	for _, v := range link.SampleRSSI(50, rng) {
+		if math.Abs(v-math.Round(v)) > 1e-9 {
+			t.Fatalf("RSSI %v not quantized to 1 dB", v)
+		}
+	}
+}
+
+func TestWearableJitterWidensDistribution(t *testing.T) {
+	sc := channel.DefaultScene(nil, 1.5)
+	rng := simclock.RNG(5, "jitter")
+	still := MetaMotionR
+	still.OrientationJitterRad = 0
+	moving := MetaMotionR // 0.15 rad wobble
+	linkStill, err := NewLink(still, RaspberryPi3, 0, math.Pi/4, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkMoving, err := NewLink(moving, RaspberryPi3, 0, math.Pi/4, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sdStill := signal.MeanAndStd(linkStill.SampleRSSI(800, rng))
+	_, sdMoving := signal.MeanAndStd(linkMoving.SampleRSSI(800, rng))
+	if !(sdMoving > sdStill) {
+		t.Errorf("moving wearable std %v should exceed still %v", sdMoving, sdStill)
+	}
+}
+
+func TestSurfaceClosesFig20Gap(t *testing.T) {
+	// Fig. 20: with the surface at a good bias, the mismatched IoT link
+	// approaches the matched distribution.
+	surf := metasurface.MustNew(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	scSurf := channel.DefaultScene(surf, 2.0)
+	scBare := channel.DefaultScene(nil, 2.0)
+	rng := simclock.RNG(6, "fig20")
+
+	mismatchBare, err := NewLink(NetgearAP, ESP8266, 0, math.Pi/2, scBare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatchSurf, err := NewLink(NetgearAP, ESP8266, 0, math.Pi/2, scSurf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a good bias with a coarse scan.
+	best := math.Inf(-1)
+	var bvx, bvy float64
+	for vx := 0.0; vx <= 30; vx += 3 {
+		for vy := 0.0; vy <= 30; vy += 3 {
+			surf.SetBias(vx, vy)
+			if p := scSurf.ReceivedPowerDBm(); p > best {
+				best, bvx, bvy = p, vx, vy
+			}
+		}
+	}
+	surf.SetBias(bvx, bvy)
+	mBare, _ := signal.MeanAndStd(mismatchBare.SampleRSSI(500, rng))
+	mSurf, _ := signal.MeanAndStd(mismatchSurf.SampleRSSI(500, rng))
+	if gain := mSurf - mBare; gain < 6 {
+		t.Errorf("surface gain on IoT link = %v dB, want ≥ 6 (Fig. 20 shows ≈10)", gain)
+	}
+}
+
+func TestSampleRSSIPanics(t *testing.T) {
+	sc := channel.DefaultScene(nil, 1.0)
+	link, err := NewLink(NetgearAP, ESP8266, 0, 0, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(){
+		func() { link.SampleRSSI(0, simclock.RNG(1, "x")) },
+		func() { link.SampleRSSI(10, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if !strings.Contains(ESP8266.String(), "ESP8266") {
+		t.Errorf("String = %q", ESP8266.String())
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artefact and every DESIGN.md ablation must be
+	// registered.
+	want := []string{
+		"fig2a", "fig2b", "fig8", "fig9", "fig10", "fig11", "tab1",
+		"fig12", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"fig21", "fig22", "fig23",
+		"abl-substrate", "abl-layers", "abl-sweep", "abl-sync", "abl-baseline",
+		"abl-yield",
+		"ext-900mhz", "ext-multilink", "ext-throughput", "ext-schedule",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+	for _, id := range IDs() {
+		if Describe(id) == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	r.AddRow(1, 2)
+	r.AddNote("hello %d", 7)
+	if len(r.Rows) != 1 || r.Notes[0] != "hello 7" {
+		t.Error("helpers broken")
+	}
+	col := r.Column(1)
+	if len(col) != 1 || col[0] != 2 {
+		t.Errorf("column = %v", col)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== x: t", "a", "b", "1.00", "2.00", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	r := &Result{ID: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad arity should panic")
+		}
+	}()
+	r.AddRow(1)
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "—",
+		math.Inf(1):  "+inf",
+		math.Inf(-1): "-inf",
+		0.001:        "1.00e-03",
+		3.14159:      "3.14",
+		2.5e7:        "2.5e+07",
+	}
+	for in, want := range cases {
+		if got := formatCell(in); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFig2aShapes(t *testing.T) {
+	res, err := Run("fig2a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 30 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	// Histogram masses both ≈100%.
+	var mMass, xMass float64
+	for _, row := range res.Rows {
+		mMass += row[1]
+		xMass += row[2]
+	}
+	if math.Abs(mMass-100) > 1 || math.Abs(xMass-100) > 1 {
+		t.Errorf("histogram masses %v / %v", mMass, xMass)
+	}
+	// Matched distribution should sit right of mismatched: compare the
+	// mass-weighted means.
+	var mMean, xMean float64
+	for _, row := range res.Rows {
+		mMean += row[0] * row[1] / 100
+		xMean += row[0] * row[2] / 100
+	}
+	if mMean-xMean < 5 {
+		t.Errorf("fig2a gap = %v dB, want ≥ 5", mMean-xMean)
+	}
+}
+
+func TestFigs8to10Ordering(t *testing.T) {
+	rog, err := Run("fig8", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Run("fig9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run("fig10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(r *Result) float64 { return maxIn(r.Column(1)) }
+	if !(peak(rog) > peak(naive)+10) {
+		t.Errorf("Rogers %.1f dB should dwarf naive FR4 %.1f dB", peak(rog), peak(naive))
+	}
+	if math.Abs(peak(opt)-peak(rog)) > 3.5 {
+		t.Errorf("optimized FR4 %.1f dB should be comparable to Rogers %.1f dB", peak(opt), peak(rog))
+	}
+}
+
+func TestTable1Range(t *testing.T) {
+	res, err := Run("tab1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 || len(res.Columns) != 8 {
+		t.Fatalf("table shape %dx%d", len(res.Rows), len(res.Columns))
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range res.Rows {
+		for _, v := range row[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if min > 3 || max < 40 || max > 62 {
+		t.Errorf("rotation range %.1f–%.1f°, want ≈2–49°", min, max)
+	}
+}
+
+func TestFig16HeadlineGain(t *testing.T) {
+	res, err := Run("fig16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains := res.Column(3)
+	if maxIn(gains) < 8 {
+		t.Errorf("max transmissive gain %.1f dB, want ≥ 8 (paper: 15)", maxIn(gains))
+	}
+	if minIn(gains) < -3 {
+		t.Errorf("surface made a distance worse by %.1f dB", -minIn(gains))
+	}
+}
+
+func TestFig17AllBandGain(t *testing.T) {
+	res, err := Run("fig17", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Errorf("rows = %d, want 11 (2.40–2.50 step 0.01)", len(res.Rows))
+	}
+	if minIn(res.Column(3)) < 5 {
+		t.Errorf("min in-band gain %.1f dB, want ≥ 5 (paper: >10)", minIn(res.Column(3)))
+	}
+}
+
+func TestFig18SurfaceHelps(t *testing.T) {
+	res, err := Run("fig18", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[1] < row[2] {
+			t.Errorf("absorber omni: surface hurts at %v mW (%v vs %v)", row[0], row[1], row[2])
+		}
+		if row[3] < row[4] {
+			t.Errorf("absorber directional: surface hurts at %v mW", row[0])
+		}
+	}
+	// Monotone growth with power for the with-surface curve.
+	prev := -1.0
+	for _, row := range res.Rows {
+		if row[1] < prev-0.05 {
+			t.Errorf("omni capacity not monotone at %v mW", row[0])
+		}
+		prev = row[1]
+	}
+}
+
+func TestFig19DirectionalRobust(t *testing.T) {
+	res, err := Run("fig19", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directional: surface should help at high power even in multipath.
+	last := res.Rows[len(res.Rows)-1]
+	if last[3] < last[4] {
+		t.Errorf("directional multipath: surface hurts at 1 W (%v vs %v)", last[3], last[4])
+	}
+}
+
+func TestFig22ReflectiveGain(t *testing.T) {
+	res, err := Run("fig22", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxIn(res.Column(3)) < 10 {
+		t.Errorf("max reflective gain %.1f dB, want ≥ 10 (paper: 17)", maxIn(res.Column(3)))
+	}
+}
+
+func TestFig23Detection(t *testing.T) {
+	res, err := Run("fig23", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "with surface: detected=true") {
+		t.Errorf("respiration not detected with surface:\n%s", joined)
+	}
+	if !strings.Contains(joined, "without surface: detected=false") {
+		t.Errorf("respiration detected without surface:\n%s", joined)
+	}
+}
+
+func TestAblationSweepOrdering(t *testing.T) {
+	res, err := Run("abl-sweep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, ctf := res.Rows[0], res.Rows[1]
+	if full[1] < ctf[1]-0.01 {
+		t.Errorf("full scan (%.2f dBm) should be ≥ Algorithm 1 (%.2f dBm)", full[1], ctf[1])
+	}
+	if full[1]-ctf[1] > 3 {
+		t.Errorf("Algorithm 1 gives up %.1f dB, want ≤ 3", full[1]-ctf[1])
+	}
+	if ctf[2] >= full[2] {
+		t.Errorf("Algorithm 1 should use far fewer switches: %v vs %v", ctf[2], full[2])
+	}
+}
+
+func TestExt900MHz(t *testing.T) {
+	res, err := Run("ext-900mhz", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the band center row, efficiency decent and rotation large.
+	var centerRow []float64
+	for _, row := range res.Rows {
+		if math.Abs(row[0]-910) < 6 {
+			centerRow = row
+		}
+	}
+	if centerRow == nil {
+		t.Fatal("no row near 910 MHz")
+	}
+	if centerRow[1] < -6 {
+		t.Errorf("900 MHz efficiency %.1f dB", centerRow[1])
+	}
+	if centerRow[2] < 30 {
+		t.Errorf("900 MHz rotation %.1f°", centerRow[2])
+	}
+}
+
+func TestExtMultilink(t *testing.T) {
+	res, err := Run("ext-multilink", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := res.Rows[2]
+	bare := res.Rows[3]
+	if joint[5] <= bare[5] {
+		t.Errorf("joint optimum sum SE %.2f should beat no-surface %.2f", joint[5], bare[5])
+	}
+}

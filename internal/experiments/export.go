@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV renders the result as RFC-4180 CSV: a header row of column
+// names followed by the numeric body. NaN renders as an empty cell and
+// ±Inf as "inf"/"-inf", so spreadsheets ingest the file without choking.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	row := make([]string, len(r.Columns))
+	for _, vals := range r.Rows {
+		for i, v := range vals {
+			switch {
+			case math.IsNaN(v):
+				row[i] = ""
+			case math.IsInf(v, 1):
+				row[i] = "inf"
+			case math.IsInf(v, -1):
+				row[i] = "-inf"
+			default:
+				row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// resultJSON is the stable JSON shape of a Result.
+type resultJSON struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+	Notes   []string    `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the result as a single JSON document. Non-finite
+// values are replaced by nulls via string round-tripping of the row
+// slice (encoding/json rejects NaN/Inf).
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := resultJSON{ID: r.ID, Title: r.Title, Columns: r.Columns, Notes: r.Notes}
+	doc.Rows = make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		clean := make([]float64, len(row))
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// JSON has no NaN/Inf; clamp to a sentinel far outside
+				// any physical value in these tables.
+				v = math.Copysign(1e308, v)
+				if math.IsNaN(row[j]) {
+					v = 0
+				}
+			}
+			clean[j] = v
+		}
+		doc.Rows[i] = clean
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("experiments: json: %w", err)
+	}
+	return nil
+}

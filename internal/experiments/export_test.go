@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	r := &Result{ID: "x", Title: "sample", Columns: []string{"a", "b", "c"}}
+	r.AddRow(1, 2.5, -3)
+	r.AddRow(math.NaN(), math.Inf(1), math.Inf(-1))
+	r.AddNote("a note")
+	return r
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want header + 2 rows", len(records))
+	}
+	if records[0][0] != "a" || records[0][2] != "c" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "2.5" {
+		t.Errorf("row value = %q", records[1][1])
+	}
+	// NaN → empty, Inf → inf/-inf.
+	if records[2][0] != "" || records[2][1] != "inf" || records[2][2] != "-inf" {
+		t.Errorf("special values = %v", records[2])
+	}
+}
+
+func TestWriteJSONValid(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleResult().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID      string      `json:"id"`
+		Columns []string    `json:"columns"`
+		Rows    [][]float64 `json:"rows"`
+		Notes   []string    `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.ID != "x" || len(doc.Rows) != 2 || len(doc.Notes) != 1 {
+		t.Errorf("doc shape: %+v", doc)
+	}
+}
+
+func TestCSVOfRealExperiment(t *testing.T) {
+	res, err := Run("tab1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 8 { // header + 7 Vy rows
+		t.Errorf("tab1 CSV records = %d", len(records))
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func init() {
+	register("tab1", "Table 1 — simulated polarization rotation degrees over the (Vx, Vy) grid", table1)
+}
+
+// Table1Biases is the voltage grid of the paper's Table 1.
+var Table1Biases = []float64{2, 3, 4, 5, 6, 10, 15}
+
+func table1(seed int64) (*Result, error) {
+	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"Vy_V"}
+	for _, vx := range Table1Biases {
+		cols = append(cols, "Vx="+formatCell(vx))
+	}
+	res := &Result{
+		ID:      "tab1",
+		Title:   "Table 1 — simulated rotation degrees θr(Vx, Vy) at 2.44 GHz",
+		Columns: cols,
+	}
+	min, max := 180.0, 0.0
+	for _, vy := range Table1Biases {
+		row := []float64{vy}
+		for _, vx := range Table1Biases {
+			surf.SetBias(vx, vy)
+			r := surf.RotationDegrees(units.DefaultCarrierHz)
+			row = append(row, r)
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+		}
+		res.AddRow(row...)
+	}
+	res.AddNote("rotation range %.1f°–%.1f° (paper Table 1: 1.9°–48.7°)", min, max)
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package jones
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/llama-surface/llama/internal/mat2"
+)
+
+// Mueller is a 4×4 real Mueller matrix acting on Stokes vectors. Where
+// Jones calculus describes fully polarized fields, Mueller calculus also
+// carries partial polarization — the state of a field after depolarizing
+// multipath, which is exactly what a LLAMA surface receives in the
+// laboratory environment of §5.1.2.
+type Mueller [4][4]float64
+
+// StokesVector is (S0, S1, S2, S3).
+type StokesVector [4]float64
+
+// StokesOf returns the Stokes vector of a (fully polarized) Jones state.
+func StokesOf(v Vector) StokesVector {
+	s0, s1, s2, s3 := Stokes(v)
+	return StokesVector{s0, s1, s2, s3}
+}
+
+// DegreeOfPolarization returns sqrt(S1²+S2²+S3²)/S0 ∈ [0,1]; zero for an
+// unpolarized field, one for fully polarized. Zero-power states return 0.
+func (s StokesVector) DegreeOfPolarization() float64 {
+	if s[0] <= 0 {
+		return 0
+	}
+	p := math.Sqrt(s[1]*s[1]+s[2]*s[2]+s[3]*s[3]) / s[0]
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Power returns S0.
+func (s StokesVector) Power() float64 { return s[0] }
+
+// Add superposes two incoherent fields (Stokes vectors add for mutually
+// incoherent waves — the multipath-summation property Jones vectors lack).
+func (s StokesVector) Add(o StokesVector) StokesVector {
+	return StokesVector{s[0] + o[0], s[1] + o[1], s[2] + o[2], s[3] + o[3]}
+}
+
+// Scale multiplies all components by k (k ≥ 0 for physical fields).
+func (s StokesVector) Scale(k float64) StokesVector {
+	return StokesVector{k * s[0], k * s[1], k * s[2], k * s[3]}
+}
+
+// Apply returns M·s.
+func (m Mueller) Apply(s StokesVector) StokesVector {
+	var out StokesVector
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[i] += m[i][j] * s[j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·n (n acts first).
+func (m Mueller) Mul(n Mueller) Mueller {
+	var out Mueller
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				out[i][j] += m[i][k] * n[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// MuellerIdentity returns the identity element.
+func MuellerIdentity() Mueller {
+	var m Mueller
+	for i := 0; i < 4; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// MuellerFromJones converts a Jones matrix to its Mueller equivalent via
+// M = A·(J⊗J*)·A⁻¹ evaluated element-wise with the standard Pauli-basis
+// expansion. Any polarization element expressible in Jones form (i.e. any
+// non-depolarizing element) converts exactly.
+func MuellerFromJones(j Matrix) Mueller {
+	// Pauli-like basis expansion: with J = [a b; c d],
+	// the coherency transfer gives the closed forms below (Chipman,
+	// Handbook of Optics, ch. 14).
+	a, b, c, d := j.A, j.B, j.C, j.D
+	aa, bb, cc, dd := norm2(a), norm2(b), norm2(c), norm2(d)
+	var m Mueller
+	m[0][0] = 0.5 * (aa + bb + cc + dd)
+	m[0][1] = 0.5 * (aa - bb + cc - dd)
+	m[0][2] = real(a*cmplx.Conj(b) + c*cmplx.Conj(d))
+	m[0][3] = imag(a*cmplx.Conj(b) + c*cmplx.Conj(d))
+	m[1][0] = 0.5 * (aa + bb - cc - dd)
+	m[1][1] = 0.5 * (aa - bb - cc + dd)
+	m[1][2] = real(a*cmplx.Conj(b) - c*cmplx.Conj(d))
+	m[1][3] = imag(a*cmplx.Conj(b) - c*cmplx.Conj(d))
+	m[2][0] = real(a*cmplx.Conj(c) + b*cmplx.Conj(d))
+	m[2][1] = real(a*cmplx.Conj(c) - b*cmplx.Conj(d))
+	m[2][2] = real(a*cmplx.Conj(d) + b*cmplx.Conj(c))
+	m[2][3] = imag(a*cmplx.Conj(d) - b*cmplx.Conj(c))
+	m[3][0] = -imag(a*cmplx.Conj(c) + b*cmplx.Conj(d))
+	m[3][1] = -imag(a*cmplx.Conj(c) - b*cmplx.Conj(d))
+	m[3][2] = -imag(a*cmplx.Conj(d) + b*cmplx.Conj(c))
+	m[3][3] = real(a*cmplx.Conj(d) - b*cmplx.Conj(c))
+	return m
+}
+
+func norm2(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+// Depolarizer returns the isotropic partial depolarizer that keeps a
+// fraction p ∈ [0,1] of the polarized component (p = 1 is identity,
+// p = 0 output is fully unpolarized). It panics outside [0,1].
+func Depolarizer(p float64) Mueller {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("jones: depolarizer fraction %g outside [0,1]", p))
+	}
+	var m Mueller
+	m[0][0] = 1
+	m[1][1], m[2][2], m[3][3] = p, p, p
+	return m
+}
+
+// DepolarizationIndex returns Chipman's depolarization index of m:
+// sqrt((Σ mᵢⱼ² − m00²)/(3·m00²)) ∈ [0,1], 1 for non-depolarizing
+// elements. Zero-transmission matrices return 0.
+func (m Mueller) DepolarizationIndex() float64 {
+	if m[0][0] == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sum += m[i][j] * m[i][j]
+		}
+	}
+	di := math.Sqrt((sum - m[0][0]*m[0][0]) / (3 * m[0][0] * m[0][0]))
+	if di > 1 {
+		di = 1
+	}
+	return di
+}
+
+// MultipathStokes incoherently sums the Stokes vectors of a set of field
+// contributions (Jones vectors scaled by their amplitudes): the partially
+// polarized aggregate a receiver in a scattering environment sees over
+// timescales longer than the coherence time.
+func MultipathStokes(fields []mat2.Vec) StokesVector {
+	var acc StokesVector
+	for _, f := range fields {
+		acc = acc.Add(StokesOf(f))
+	}
+	return acc
+}
+
+// PolarizedReceivedFraction returns the fraction of a partially polarized
+// field's power a linear receive antenna at angle psi captures:
+// ½·(1 + p·cos(2(ψ−ψ₀))·plin) where the polarized component's linear part
+// projects per Malus and the unpolarized half splits evenly. Expressed
+// directly from Stokes components:
+//
+//	f = ½·(S0 + S1·cos2ψ + S2·sin2ψ) / S0
+//
+// Zero-power fields return 0.
+func (s StokesVector) PolarizedReceivedFraction(psi float64) float64 {
+	if s[0] <= 0 {
+		return 0
+	}
+	f := 0.5 * (s[0] + s[1]*math.Cos(2*psi) + s[2]*math.Sin(2*psi)) / s[0]
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

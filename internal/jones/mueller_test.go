@@ -1,0 +1,185 @@
+package jones
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/mat2"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestMuellerFromJonesIdentity(t *testing.T) {
+	m := MuellerFromJones(mat2.Identity())
+	if m != MuellerIdentity() {
+		t.Errorf("Mueller of identity Jones = %v", m)
+	}
+}
+
+func TestMuellerMatchesJonesOnPureStates(t *testing.T) {
+	// For any non-depolarizing element, applying the Jones matrix and
+	// converting to Stokes must equal applying the Mueller matrix to the
+	// input Stokes vector.
+	rng := rand.New(rand.NewSource(31))
+	elements := []Matrix{
+		Rotator(0.3),
+		QuarterWavePlate(0.2),
+		QWPAt(0, math.Pi/4),
+		LinearPolarizer(0.7),
+		LossyBirefringent(0.1, 1.1, 0.8, 0.6),
+		PolarizationRotator(0, 0, 1.3),
+	}
+	for ei, el := range elements {
+		mm := MuellerFromJones(el)
+		for i := 0; i < 50; i++ {
+			in := Vector{
+				X: complex(rng.NormFloat64(), rng.NormFloat64()),
+				Y: complex(rng.NormFloat64(), rng.NormFloat64()),
+			}
+			viaJones := StokesOf(el.MulVec(in))
+			viaMueller := mm.Apply(StokesOf(in))
+			for k := 0; k < 4; k++ {
+				if math.Abs(viaJones[k]-viaMueller[k]) > 1e-9*(1+math.Abs(viaJones[k])) {
+					t.Fatalf("element %d: Stokes[%d] %v (Jones) vs %v (Mueller)",
+						ei, k, viaJones[k], viaMueller[k])
+				}
+			}
+		}
+	}
+}
+
+func TestMuellerComposition(t *testing.T) {
+	// Mueller(A·B) == Mueller(A)·Mueller(B).
+	a := QWPAt(0, math.Pi/4)
+	b := Rotator(0.5)
+	lhs := MuellerFromJones(a.Mul(b))
+	rhs := MuellerFromJones(a).Mul(MuellerFromJones(b))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(lhs[i][j]-rhs[i][j]) > 1e-9 {
+				t.Fatalf("composition differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDegreeOfPolarization(t *testing.T) {
+	// Pure states: DoP = 1.
+	for _, v := range []Vector{Horizontal(), CircularLeft(), LinearAt(0.9)} {
+		if dop := StokesOf(v).DegreeOfPolarization(); math.Abs(dop-1) > 1e-9 {
+			t.Errorf("pure state DoP = %v", dop)
+		}
+	}
+	// Equal-power incoherent H + V: unpolarized.
+	s := StokesOf(Horizontal()).Add(StokesOf(Vertical()))
+	if dop := s.DegreeOfPolarization(); dop > 1e-9 {
+		t.Errorf("H+V incoherent DoP = %v, want 0", dop)
+	}
+	// Zero power.
+	if (StokesVector{}).DegreeOfPolarization() != 0 {
+		t.Error("zero-power DoP should be 0")
+	}
+}
+
+func TestDepolarizer(t *testing.T) {
+	d := Depolarizer(0.5)
+	in := StokesOf(Horizontal())
+	out := d.Apply(in)
+	if math.Abs(out.Power()-1) > 1e-12 {
+		t.Errorf("depolarizer changed power: %v", out.Power())
+	}
+	if dop := out.DegreeOfPolarization(); math.Abs(dop-0.5) > 1e-12 {
+		t.Errorf("DoP after 0.5 depolarizer = %v", dop)
+	}
+	// Full depolarizer.
+	if dop := Depolarizer(0).Apply(in).DegreeOfPolarization(); dop > 1e-12 {
+		t.Errorf("full depolarizer left DoP %v", dop)
+	}
+	// Identity depolarizer.
+	if Depolarizer(1).Apply(in) != in {
+		t.Error("p=1 depolarizer should be identity")
+	}
+}
+
+func TestDepolarizerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("p>1 should panic")
+		}
+	}()
+	Depolarizer(1.5)
+}
+
+func TestDepolarizationIndex(t *testing.T) {
+	// Non-depolarizing elements have DI = 1.
+	for _, el := range []Matrix{Rotator(0.4), QuarterWavePlate(0), LinearPolarizer(0.3)} {
+		if di := MuellerFromJones(el).DepolarizationIndex(); math.Abs(di-1) > 1e-9 {
+			t.Errorf("non-depolarizing DI = %v", di)
+		}
+	}
+	// Partial depolarizer: DI = p.
+	if di := Depolarizer(0.6).DepolarizationIndex(); math.Abs(di-0.6) > 1e-12 {
+		t.Errorf("DI of 0.6-depolarizer = %v", di)
+	}
+	// Zero matrix.
+	if (Mueller{}).DepolarizationIndex() != 0 {
+		t.Error("zero matrix DI should be 0")
+	}
+}
+
+func TestMultipathStokesDepolarizes(t *testing.T) {
+	// Many random-polarization paths of similar power: the aggregate
+	// degree of polarization collapses — why the mismatch floor rises in
+	// the laboratory environment (§5.1.2).
+	rng := rand.New(rand.NewSource(17))
+	var fields []mat2.Vec
+	for i := 0; i < 64; i++ {
+		fields = append(fields, LinearAt(rng.Float64()*math.Pi))
+	}
+	s := MultipathStokes(fields)
+	if dop := s.DegreeOfPolarization(); dop > 0.35 {
+		t.Errorf("64 random paths DoP = %v, want small", dop)
+	}
+	// A single path stays pure.
+	if dop := MultipathStokes(fields[:1]).DegreeOfPolarization(); math.Abs(dop-1) > 1e-9 {
+		t.Errorf("single path DoP = %v", dop)
+	}
+}
+
+func TestPolarizedReceivedFraction(t *testing.T) {
+	// Fully polarized H into an H antenna: everything; into V: nothing.
+	h := StokesOf(Horizontal())
+	if f := h.PolarizedReceivedFraction(0); math.Abs(f-1) > 1e-12 {
+		t.Errorf("co-pol fraction = %v", f)
+	}
+	if f := h.PolarizedReceivedFraction(math.Pi / 2); f > 1e-12 {
+		t.Errorf("cross-pol fraction = %v", f)
+	}
+	// Malus at 30°.
+	want := math.Cos(units.Radians(30)) * math.Cos(units.Radians(30))
+	if f := h.PolarizedReceivedFraction(units.Radians(30)); math.Abs(f-want) > 1e-12 {
+		t.Errorf("30° fraction = %v, want %v", f, want)
+	}
+	// Unpolarized: half at any angle — the orientation-independence that
+	// makes depolarized multipath rescue a mismatched link.
+	unpol := StokesOf(Horizontal()).Add(StokesOf(Vertical()))
+	for _, psi := range []float64{0, 0.6, math.Pi / 2} {
+		if f := unpol.PolarizedReceivedFraction(psi); math.Abs(f-0.5) > 1e-12 {
+			t.Errorf("unpolarized fraction at %v = %v, want 0.5", psi, f)
+		}
+	}
+	// Zero power.
+	if (StokesVector{}).PolarizedReceivedFraction(0) != 0 {
+		t.Error("zero-power fraction should be 0")
+	}
+}
+
+func TestStokesScale(t *testing.T) {
+	s := StokesOf(Horizontal()).Scale(3)
+	if s.Power() != 3 {
+		t.Errorf("scaled power = %v", s.Power())
+	}
+	if math.Abs(s.DegreeOfPolarization()-1) > 1e-12 {
+		t.Error("scaling should preserve DoP")
+	}
+}

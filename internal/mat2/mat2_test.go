@@ -1,0 +1,251 @@
+package mat2
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMat produces a bounded random matrix for property tests.
+func randMat(r *rand.Rand) Mat {
+	c := func() complex128 {
+		return complex(r.Float64()*4-2, r.Float64()*4-2)
+	}
+	return Mat{A: c(), B: c(), C: c(), D: c()}
+}
+
+func randVec(r *rand.Rand) Vec {
+	c := func() complex128 {
+		return complex(r.Float64()*4-2, r.Float64()*4-2)
+	}
+	return Vec{X: c(), Y: c()}
+}
+
+func TestIdentity(t *testing.T) {
+	i := Identity()
+	m := Mat{A: 1 + 2i, B: 3, C: -1i, D: 2}
+	if !i.Mul(m).ApproxEqual(m, 1e-15) {
+		t.Error("I·m != m")
+	}
+	if !m.Mul(i).ApproxEqual(m, 1e-15) {
+		t.Error("m·I != m")
+	}
+	v := Vec{X: 2 + 1i, Y: -3}
+	if !i.MulVec(v).ApproxEqual(v, 1e-15) {
+		t.Error("I·v != v")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// R(a)·R(b) == R(a+b)
+	for _, pair := range [][2]float64{{0.3, 0.4}, {-1.2, 2.0}, {math.Pi, math.Pi / 2}} {
+		a, b := pair[0], pair[1]
+		got := Rotation(a).Mul(Rotation(b))
+		want := Rotation(a + b)
+		if !got.ApproxEqual(want, 1e-12) {
+			t.Errorf("R(%v)R(%v) != R(%v)", a, b, a+b)
+		}
+	}
+}
+
+func TestRotationInverseIsTranspose(t *testing.T) {
+	r := Rotation(0.7)
+	inv, ok := r.Inverse()
+	if !ok {
+		t.Fatal("rotation should be invertible")
+	}
+	if !inv.ApproxEqual(r.Transpose(), 1e-12) {
+		t.Error("R⁻¹ != Rᵀ for a real rotation")
+	}
+	if !r.IsUnitary(1e-12) {
+		t.Error("rotation should be unitary")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b, c := randMat(r), randMat(r), randMat(r)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if !left.ApproxEqual(right, 1e-9) {
+			t.Fatalf("associativity failed at iter %d", i)
+		}
+	}
+}
+
+func TestMulVecDistributes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := randMat(r)
+		v, w := randVec(r), randVec(r)
+		left := m.MulVec(v.Add(w))
+		right := m.MulVec(v).Add(m.MulVec(w))
+		if !left.ApproxEqual(right, 1e-9) {
+			t.Fatalf("distributivity failed at iter %d", i)
+		}
+	}
+}
+
+func TestDetMultiplicative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a, b := randMat(r), randMat(r)
+		got := a.Mul(b).Det()
+		want := a.Det() * b.Det()
+		if cmplx.Abs(got-want) > 1e-8*(1+cmplx.Abs(want)) {
+			t.Fatalf("det(AB) != det(A)det(B) at iter %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		m := randMat(r)
+		inv, ok := m.Inverse()
+		if !ok {
+			continue // singular draw, fine
+		}
+		if !m.Mul(inv).ApproxEqual(Identity(), 1e-7) {
+			t.Fatalf("m·m⁻¹ != I at iter %d", i)
+		}
+		if !inv.Mul(m).ApproxEqual(Identity(), 1e-7) {
+			t.Fatalf("m⁻¹·m != I at iter %d", i)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	if _, ok := Zero().Inverse(); ok {
+		t.Error("zero matrix should not be invertible")
+	}
+	// Rank-1 matrix.
+	m := Mat{A: 1, B: 2, C: 2, D: 4}
+	if _, ok := m.Inverse(); ok {
+		t.Error("rank-1 matrix should not be invertible")
+	}
+}
+
+func TestAdjointProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a, b := randMat(r), randMat(r)
+		// (AB)† == B†A†
+		left := a.Mul(b).Adjoint()
+		right := b.Adjoint().Mul(a.Adjoint())
+		if !left.ApproxEqual(right, 1e-9) {
+			t.Fatalf("(AB)† != B†A† at iter %d", i)
+		}
+		// (A†)† == A
+		if !a.Adjoint().Adjoint().ApproxEqual(a, 1e-12) {
+			t.Fatalf("(A†)† != A at iter %d", i)
+		}
+	}
+}
+
+func TestHermitianInnerProduct(t *testing.T) {
+	v := Vec{X: 1i, Y: 2}
+	// ⟨v,v⟩ must be real and equal ‖v‖².
+	d := v.Dot(v)
+	if imag(d) != 0 {
+		t.Errorf("⟨v,v⟩ has imaginary part %v", imag(d))
+	}
+	if real(d) != 5 {
+		t.Errorf("⟨v,v⟩ = %v, want 5", real(d))
+	}
+	if v.NormSq() != 5 {
+		t.Errorf("NormSq = %v, want 5", v.NormSq())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec{X: 3, Y: 4i}
+	n, ok := v.Normalize()
+	if !ok {
+		t.Fatal("normalize of nonzero vector failed")
+	}
+	if math.Abs(n.Norm()-1) > 1e-12 {
+		t.Errorf("normalized norm = %v", n.Norm())
+	}
+	if _, ok := (Vec{}).Normalize(); ok {
+		t.Error("normalize of zero vector should report false")
+	}
+}
+
+func TestUnitaryPreservesNorm(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		u := Rotation(r.Float64() * 2 * math.Pi)
+		// Also exercise a diagonal phase matrix: unitary but complex.
+		p := Diag(cmplx.Exp(complex(0, r.Float64()*2*math.Pi)), cmplx.Exp(complex(0, r.Float64()*2*math.Pi)))
+		m := u.Mul(p)
+		if !m.IsUnitary(1e-10) {
+			t.Fatalf("R·diag(phase) should be unitary")
+		}
+		v := randVec(r)
+		if math.Abs(m.MulVec(v).Norm()-v.Norm()) > 1e-9 {
+			t.Fatalf("unitary map changed the norm at iter %d", i)
+		}
+	}
+}
+
+func TestTraceAndScale(t *testing.T) {
+	m := Mat{A: 1, B: 2, C: 3, D: 4}
+	if m.Trace() != 5 {
+		t.Errorf("trace = %v, want 5", m.Trace())
+	}
+	s := m.Scale(2i)
+	if s.A != 2i || s.D != 8i {
+		t.Errorf("scale wrong: %v", s)
+	}
+	if got := m.Add(m).Sub(m); !got.ApproxEqual(m, 1e-15) {
+		t.Errorf("m+m-m != m: %v", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := Mat{A: 3, B: 4}
+	if math.Abs(m.FrobeniusNorm()-5) > 1e-12 {
+		t.Errorf("Frobenius = %v, want 5", m.FrobeniusNorm())
+	}
+	if Identity().FrobeniusNorm() != math.Sqrt2 {
+		t.Errorf("‖I‖F = %v, want √2", Identity().FrobeniusNorm())
+	}
+}
+
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(ar, ai, br, bi, cr, ci, dr, di float64) bool {
+		clampf := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 10)
+		}
+		m := Mat{
+			A: complex(clampf(ar), clampf(ai)),
+			B: complex(clampf(br), clampf(bi)),
+			C: complex(clampf(cr), clampf(ci)),
+			D: complex(clampf(dr), clampf(di)),
+		}
+		inv, ok := m.Inverse()
+		if !ok {
+			return true
+		}
+		return m.Mul(inv).ApproxEqual(Identity(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Identity().String(); s == "" {
+		t.Error("empty matrix string")
+	}
+	if s := (Vec{X: 1, Y: 2}).String(); s == "" {
+		t.Error("empty vector string")
+	}
+}

@@ -1,0 +1,228 @@
+// Package materials models the PCB dielectric substrates and conductors the
+// LLAMA metasurface can be built from, and the per-unit-area cost model that
+// motivates the paper's FR4 design.
+//
+// The paper's central materials argument: Rogers 5880 (loss tangent 0.0009)
+// gives excellent transmission efficiency but is cost-prohibitive at wall
+// scale, while FR4 (loss tangent 0.02) is ~20× lossier per unit thickness —
+// so the structure, not the substrate, must be optimized (fewer, thinner
+// phase-shifter layers).
+package materials
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// Dielectric describes a PCB substrate material.
+type Dielectric struct {
+	// Name identifies the material in reports.
+	Name string
+	// EpsilonR is the relative permittivity (real part).
+	EpsilonR float64
+	// LossTangent is tan δ, the ratio of the imaginary to real part of
+	// the permittivity; dielectric loss grows linearly with it.
+	LossTangent float64
+	// CostPerM2PerLayer is the board cost in USD per square meter per
+	// copper-clad layer, an aggregate of laminate + fabrication cost used
+	// by the BoM model.
+	CostPerM2PerLayer float64
+}
+
+// Conductor describes a metallization layer.
+type Conductor struct {
+	// Name identifies the metal.
+	Name string
+	// Conductivity in S/m.
+	Conductivity float64
+}
+
+// Standard materials. FR4 and Rogers 5880 parameters follow the datasheets
+// the paper cites ([13], [30]); costs are the scale used for the paper's
+// $540-for-all-PCB-layers prototype figure.
+var (
+	// FR4 is the cheap glass-epoxy laminate LLAMA uses.
+	FR4 = Dielectric{Name: "FR4", EpsilonR: 4.4, LossTangent: 0.020, CostPerM2PerLayer: 150}
+	// Rogers5880 is the high-performance PTFE laminate used by the
+	// 10 GHz design in [36] that LLAMA's design replaces.
+	Rogers5880 = Dielectric{Name: "Rogers 5880", EpsilonR: 2.20, LossTangent: 0.0009, CostPerM2PerLayer: 3200}
+	// Copper is standard PCB metallization.
+	Copper = Conductor{Name: "copper", Conductivity: 5.8e7}
+)
+
+// Validate reports an error when the dielectric parameters are unphysical.
+func (d Dielectric) Validate() error {
+	if d.EpsilonR < 1 {
+		return fmt.Errorf("materials: %s: εr %.3f < 1", d.Name, d.EpsilonR)
+	}
+	if d.LossTangent < 0 {
+		return fmt.Errorf("materials: %s: negative loss tangent %g", d.Name, d.LossTangent)
+	}
+	if d.CostPerM2PerLayer < 0 {
+		return fmt.Errorf("materials: %s: negative cost", d.Name)
+	}
+	return nil
+}
+
+// WavelengthIn returns the wavelength in the dielectric at frequency f:
+// λ0/√εr.
+func (d Dielectric) WavelengthIn(f float64) float64 {
+	return units.Wavelength(f) / math.Sqrt(d.EpsilonR)
+}
+
+// PhaseConstant returns β = ω√(με) = k0·√εr in rad/m at frequency f.
+func (d Dielectric) PhaseConstant(f float64) float64 {
+	return units.WaveNumber(f) * math.Sqrt(d.EpsilonR)
+}
+
+// DielectricAttenuation returns the dielectric attenuation constant α_d in
+// nepers per meter for a wave travelling through the bulk material:
+//
+//	α_d = (k0·√εr·tanδ) / 2
+//
+// This is the small-loss approximation (tanδ ≪ 1), the regime of both FR4
+// and Rogers laminates.
+func (d Dielectric) DielectricAttenuation(f float64) float64 {
+	return d.PhaseConstant(f) * d.LossTangent / 2
+}
+
+// DielectricLossDB returns the one-way bulk dielectric loss in dB (≥ 0) of
+// a slab of thickness t meters at frequency f.
+func (d Dielectric) DielectricLossDB(f, t float64) float64 {
+	if t < 0 {
+		panic("materials: negative thickness")
+	}
+	// dB = 20·log10(e) · α · l  =  8.686 · α · l
+	return 20 * math.Log10(math.E) * d.DielectricAttenuation(f) * t
+}
+
+// IntrinsicImpedance returns the wave impedance η = η0/√εr of the bulk
+// dielectric.
+func (d Dielectric) IntrinsicImpedance() float64 {
+	return units.Z0FreeSpace / math.Sqrt(d.EpsilonR)
+}
+
+// PropagationConstant returns the complex γ = α + jβ of the bulk
+// dielectric at frequency f.
+func (d Dielectric) PropagationConstant(f float64) complex128 {
+	return complex(d.DielectricAttenuation(f), d.PhaseConstant(f))
+}
+
+// String implements fmt.Stringer.
+func (d Dielectric) String() string {
+	return fmt.Sprintf("%s (εr=%.2f, tanδ=%.4f)", d.Name, d.EpsilonR, d.LossTangent)
+}
+
+// SkinDepth returns the conductor's skin depth in meters at frequency f.
+func (c Conductor) SkinDepth(f float64) float64 {
+	if f <= 0 {
+		panic("materials: non-positive frequency")
+	}
+	mu0 := 4 * math.Pi * 1e-7
+	return 1 / math.Sqrt(math.Pi*f*mu0*c.Conductivity)
+}
+
+// SurfaceResistance returns Rs = 1/(σ·δs) in ohms per square at frequency
+// f, the quantity that sets conductor loss in printed patterns.
+func (c Conductor) SurfaceResistance(f float64) float64 {
+	return 1 / (c.Conductivity * c.SkinDepth(f))
+}
+
+// ConductorAttenuation returns the attenuation constant α_c in nepers per
+// meter of a quasi-TEM line with characteristic impedance z0 and effective
+// trace width w meters:
+//
+//	α_c = Rs / (z0 · w)
+//
+// (Pozar's microstrip conductor-loss formula.) It panics on non-positive
+// z0 or w.
+func (c Conductor) ConductorAttenuation(f, z0, w float64) float64 {
+	if z0 <= 0 || w <= 0 {
+		panic("materials: conductor attenuation needs positive z0 and width")
+	}
+	return c.SurfaceResistance(f) / (z0 * w)
+}
+
+// Stackup describes a laminated board: a substrate material, the number of
+// patterned copper layers and each dielectric layer's thickness.
+type Stackup struct {
+	// Substrate is the dielectric between copper layers.
+	Substrate Dielectric
+	// CopperLayers is the number of patterned metal layers.
+	CopperLayers int
+	// LayerThickness is the dielectric thickness per layer, meters.
+	LayerThickness float64
+	// Area is the board area in m².
+	Area float64
+}
+
+// Validate reports an error for unbuildable stackups.
+func (s Stackup) Validate() error {
+	if err := s.Substrate.Validate(); err != nil {
+		return err
+	}
+	if s.CopperLayers < 1 {
+		return fmt.Errorf("materials: stackup needs ≥1 copper layer, have %d", s.CopperLayers)
+	}
+	if s.LayerThickness <= 0 {
+		return fmt.Errorf("materials: non-positive layer thickness %g", s.LayerThickness)
+	}
+	if s.Area <= 0 {
+		return fmt.Errorf("materials: non-positive area %g", s.Area)
+	}
+	return nil
+}
+
+// TotalDielectricThickness returns the summed dielectric thickness.
+func (s Stackup) TotalDielectricThickness() float64 {
+	// n copper layers sandwich n−1 dielectric layers in a single
+	// laminated board; a 1-layer "stackup" is just a carrier.
+	n := s.CopperLayers - 1
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * s.LayerThickness
+}
+
+// BulkLossDB returns the one-way dielectric loss through the whole stack
+// at frequency f, in dB.
+func (s Stackup) BulkLossDB(f float64) float64 {
+	return s.Substrate.DielectricLossDB(f, s.TotalDielectricThickness())
+}
+
+// BoardCost returns the PCB cost in USD for the stackup.
+func (s Stackup) BoardCost() float64 {
+	return s.Substrate.CostPerM2PerLayer * float64(s.CopperLayers) * s.Area
+}
+
+// BillOfMaterials aggregates the component costs of a surface build, used
+// to reproduce the paper's §4 cost accounting ($540 PCB + varactors ≈ $900
+// prototype, $5/unit).
+type BillOfMaterials struct {
+	// PCB is the laminate + fabrication cost in USD.
+	PCB float64
+	// Varactors is the total varactor diode cost in USD.
+	Varactors float64
+	// ControlOverhead is connectors, bias tees and assembly in USD.
+	ControlOverhead float64
+}
+
+// Total returns the summed cost in USD.
+func (b BillOfMaterials) Total() float64 { return b.PCB + b.Varactors + b.ControlOverhead }
+
+// PerUnit returns the cost per functional unit for a surface with n units.
+// It panics when n ≤ 0.
+func (b BillOfMaterials) PerUnit(n int) float64 {
+	if n <= 0 {
+		panic("materials: per-unit cost needs positive unit count")
+	}
+	return b.Total() / float64(n)
+}
+
+// String implements fmt.Stringer.
+func (b BillOfMaterials) String() string {
+	return fmt.Sprintf("PCB $%.0f + varactors $%.0f + control $%.0f = $%.0f",
+		b.PCB, b.Varactors, b.ControlOverhead, b.Total())
+}

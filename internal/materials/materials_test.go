@@ -1,0 +1,210 @@
+package materials
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestStandardMaterialsValid(t *testing.T) {
+	for _, d := range []Dielectric{FR4, Rogers5880} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsUnphysical(t *testing.T) {
+	bad := []Dielectric{
+		{Name: "eps<1", EpsilonR: 0.5, LossTangent: 0.01},
+		{Name: "neg tan", EpsilonR: 2, LossTangent: -0.1},
+		{Name: "neg cost", EpsilonR: 2, LossTangent: 0.1, CostPerM2PerLayer: -1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", d.Name)
+		}
+	}
+}
+
+func TestFR4LossDominatesRogers(t *testing.T) {
+	// The paper's core material claim: FR4's 0.02 loss tangent is ~22×
+	// Rogers 5880's 0.0009, so for equal geometry FR4 must be much
+	// lossier per meter.
+	f := units.ISMBandCenter
+	fr4 := FR4.DielectricAttenuation(f)
+	rog := Rogers5880.DielectricAttenuation(f)
+	if fr4 <= rog {
+		t.Fatalf("FR4 α=%v should exceed Rogers α=%v", fr4, rog)
+	}
+	ratio := fr4 / rog
+	// tanδ ratio is 22.2; εr difference adds √(4.4/2.2)=1.414.
+	if ratio < 20 || ratio > 40 {
+		t.Errorf("attenuation ratio = %v, want ≈31 (22.2·√2)", ratio)
+	}
+}
+
+func TestDielectricLossGrowsWithThicknessAndFrequency(t *testing.T) {
+	f := units.ISMBandCenter
+	thin := FR4.DielectricLossDB(f, 0.4e-3)
+	thick := FR4.DielectricLossDB(f, 1.6e-3)
+	if !(thick > thin) {
+		t.Error("thicker slab must lose more")
+	}
+	if math.Abs(thick/thin-4) > 1e-9 {
+		t.Errorf("loss should be linear in thickness: ratio %v", thick/thin)
+	}
+	lo := FR4.DielectricLossDB(2.0e9, 1e-3)
+	hi := FR4.DielectricLossDB(2.8e9, 1e-3)
+	if !(hi > lo) {
+		t.Error("loss must grow with frequency")
+	}
+}
+
+func TestDielectricLossPanicsNegativeThickness(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative thickness should panic")
+		}
+	}()
+	FR4.DielectricLossDB(2.4e9, -1)
+}
+
+func TestWavelengthInDielectric(t *testing.T) {
+	f := 2.45e9
+	l0 := units.Wavelength(f)
+	lfr4 := FR4.WavelengthIn(f)
+	if math.Abs(lfr4-l0/math.Sqrt(4.4)) > 1e-12 {
+		t.Errorf("FR4 wavelength = %v", lfr4)
+	}
+	if !(lfr4 < l0) {
+		t.Error("wavelength must shrink in dielectric")
+	}
+}
+
+func TestIntrinsicImpedance(t *testing.T) {
+	// η(FR4) = 377/√4.4 ≈ 179.6 Ω
+	got := FR4.IntrinsicImpedance()
+	if math.Abs(got-179.6) > 0.5 {
+		t.Errorf("FR4 intrinsic impedance = %v, want ≈179.6", got)
+	}
+}
+
+func TestPropagationConstantConsistent(t *testing.T) {
+	f := 2.44e9
+	g := FR4.PropagationConstant(f)
+	if real(g) != FR4.DielectricAttenuation(f) {
+		t.Error("γ real part mismatch")
+	}
+	if imag(g) != FR4.PhaseConstant(f) {
+		t.Error("γ imaginary part mismatch")
+	}
+}
+
+func TestSkinDepthCopper(t *testing.T) {
+	// Copper at 2.44 GHz: δs ≈ 1.34 µm.
+	got := Copper.SkinDepth(2.44e9)
+	if math.Abs(got-1.34e-6) > 0.05e-6 {
+		t.Errorf("skin depth = %v m, want ≈1.34 µm", got)
+	}
+	// Rs ≈ 12.9 mΩ/sq at 2.44 GHz.
+	rs := Copper.SurfaceResistance(2.44e9)
+	if math.Abs(rs-0.0129) > 0.001 {
+		t.Errorf("Rs = %v Ω/sq, want ≈0.0129", rs)
+	}
+}
+
+func TestSkinDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero frequency should panic")
+		}
+	}()
+	Copper.SkinDepth(0)
+}
+
+func TestConductorAttenuation(t *testing.T) {
+	// α_c = Rs/(z0·w); sanity: positive and growing with frequency.
+	a1 := Copper.ConductorAttenuation(2.0e9, 377, 0.01)
+	a2 := Copper.ConductorAttenuation(2.8e9, 377, 0.01)
+	if !(a2 > a1) || a1 <= 0 {
+		t.Errorf("conductor attenuation not monotone: %v, %v", a1, a2)
+	}
+}
+
+func TestConductorAttenuationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive width should panic")
+		}
+	}()
+	Copper.ConductorAttenuation(2.4e9, 377, 0)
+}
+
+func TestStackupValidate(t *testing.T) {
+	good := Stackup{Substrate: FR4, CopperLayers: 4, LayerThickness: 1e-3, Area: 0.48 * 0.48}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid stackup rejected: %v", err)
+	}
+	bad := []Stackup{
+		{Substrate: FR4, CopperLayers: 0, LayerThickness: 1e-3, Area: 1},
+		{Substrate: FR4, CopperLayers: 2, LayerThickness: 0, Area: 1},
+		{Substrate: FR4, CopperLayers: 2, LayerThickness: 1e-3, Area: 0},
+		{Substrate: Dielectric{EpsilonR: 0.1}, CopperLayers: 2, LayerThickness: 1e-3, Area: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad stackup %d accepted", i)
+		}
+	}
+}
+
+func TestStackupLossAndCost(t *testing.T) {
+	// The paper's design choice: fewer, thinner FR4 layers lose less.
+	thick := Stackup{Substrate: FR4, CopperLayers: 6, LayerThickness: 1.5e-3, Area: 0.2304}
+	thin := Stackup{Substrate: FR4, CopperLayers: 4, LayerThickness: 0.8e-3, Area: 0.2304}
+	f := units.ISMBandCenter
+	if !(thin.BulkLossDB(f) < thick.BulkLossDB(f)) {
+		t.Error("thin stack should lose less")
+	}
+	if !(thin.BoardCost() < thick.BoardCost()) {
+		t.Error("thin stack should cost less")
+	}
+	// Rogers at the same geometry is dramatically more expensive.
+	rogers := Stackup{Substrate: Rogers5880, CopperLayers: 4, LayerThickness: 0.8e-3, Area: 0.2304}
+	if !(rogers.BoardCost() > 10*thin.BoardCost()) {
+		t.Errorf("Rogers %v should be ≫ FR4 %v", rogers.BoardCost(), thin.BoardCost())
+	}
+}
+
+func TestBillOfMaterials(t *testing.T) {
+	// Paper §4: PCB ≈ $540, 720 varactors at ~$0.50 = $360, total $900,
+	// $5/unit for 180 units.
+	bom := BillOfMaterials{PCB: 540, Varactors: 360, ControlOverhead: 0}
+	if bom.Total() != 900 {
+		t.Errorf("total = %v, want 900", bom.Total())
+	}
+	if got := bom.PerUnit(180); math.Abs(got-5) > 1e-12 {
+		t.Errorf("per unit = %v, want 5", got)
+	}
+	if !strings.Contains(bom.String(), "900") {
+		t.Errorf("BoM string %q should mention total", bom.String())
+	}
+}
+
+func TestPerUnitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PerUnit(0) should panic")
+		}
+	}()
+	BillOfMaterials{}.PerUnit(0)
+}
+
+func TestStringer(t *testing.T) {
+	if !strings.Contains(FR4.String(), "FR4") {
+		t.Error("dielectric String should include name")
+	}
+}

@@ -1,0 +1,415 @@
+package metasurface
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/llama-surface/llama/internal/jones"
+	"github.com/llama-surface/llama/internal/mat2"
+	"github.com/llama-surface/llama/internal/twoport"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// Surface is a buildable, biasable instance of a Design. It is immutable
+// except for the two bias voltages, making it safe to share read-only
+// across goroutines when the bias is externally synchronized (the
+// simulator's power-supply model owns bias updates).
+type Surface struct {
+	design Design
+
+	// biasX, biasY are the current reverse-bias voltages in volts.
+	biasX, biasY float64
+}
+
+// New builds a Surface from a validated design.
+func New(d Design) (*Surface, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &Surface{design: d, biasX: d.MinBiasV, biasY: d.MinBiasV}, nil
+}
+
+// MustNew builds a Surface and panics on an invalid design. Intended for
+// the prefab designs in examples and benchmarks.
+func MustNew(d Design) *Surface {
+	s, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Design returns the surface's immutable design description.
+func (s *Surface) Design() Design { return s.design }
+
+// SetBias sets the X- and Y-axis bias voltages, clamped to the design's
+// control range (the physical supply cannot exceed its programmed limits).
+func (s *Surface) SetBias(vx, vy float64) {
+	s.biasX = units.Clamp(vx, s.design.MinBiasV, s.design.MaxBiasV)
+	s.biasY = units.Clamp(vy, s.design.MinBiasV, s.design.MaxBiasV)
+}
+
+// Bias returns the current bias voltages (vx, vy).
+func (s *Surface) Bias() (vx, vy float64) { return s.biasX, s.biasY }
+
+// String implements fmt.Stringer.
+func (s *Surface) String() string {
+	return fmt.Sprintf("%s [%d units, bias %.1f/%.1f V]",
+		s.design.Name, s.design.Units(), s.biasX, s.biasY)
+}
+
+// effectiveIndex returns the unloaded effective refractive index of the
+// synthetic line sections: fields live partly in substrate, partly in air.
+func (d Design) effectiveIndex() float64 {
+	return math.Sqrt((d.Substrate.EpsilonR + 1) / 2)
+}
+
+// qwpAxisLine returns the ABCD network of one QWP board along one
+// principal axis: a slow-wave pattern line of electrical length QWPPath.
+// The fast axis is phase-advanced and the slow axis retarded so that the
+// differential phase is 90° at the design center; phase scales linearly
+// with frequency (transmission-line dispersion).
+func (d Design) qwpAxisLine(f float64, slow bool) twoport.ABCD {
+	n := d.PatternIndex
+	path := d.QWPPath
+	k0 := units.WaveNumber(d.CenterHz)
+	// Differential index between slow and fast axes such that
+	// (nSlow−nFast)·k0·path = π/2 along the pattern trace.
+	dn := (math.Pi / 2) / (k0 * path)
+	nAxis := n - dn/2
+	if slow {
+		nAxis = n + dn/2
+	}
+	if nAxis < 1 {
+		nAxis = 1 // synthetic lines cannot be faster than light
+	}
+	beta := units.WaveNumber(f) * nAxis
+	alpha := d.Substrate.DielectricAttenuation(f)*d.QWPConcentration +
+		0.3 // conductor + radiation residual, nepers/m
+	zc := units.Z0FreeSpace * (1 + d.QWPMismatch)
+	if slow {
+		zc = units.Z0FreeSpace * (1 - d.QWPMismatch)
+	}
+	line := twoport.TransmissionLine(complex(zc, 0), complex(alpha, beta), path)
+	tank := twoport.ShuntAdmittance(d.qwpTankAdmittance(f))
+	return twoport.Cascade(tank, line, tank)
+}
+
+// qwpTankAdmittance returns the shunt admittance of the resonant tank
+// printed on each QWP face: zero at the design center, susceptance growing
+// with fractional detuning at slope QWPSelectivity (normalized to Z0).
+// This is the standard parallel-LC form B = Yt·(f/f0 − f0/f).
+func (d Design) qwpTankAdmittance(f float64) complex128 {
+	if d.QWPSelectivity == 0 {
+		return 0
+	}
+	detune := f/d.CenterHz - d.CenterHz/f
+	return complex(0, d.QWPSelectivity/units.Z0FreeSpace*detune)
+}
+
+// bfsTankAdmittance returns the shunt admittance of the varactor-loaded
+// tank on a BFS face at frequency f and bias v. The tank's capacitive arm
+// is the diode itself, so bias moves the resonance: it sits exactly at the
+// design center when v = BFSResonanceBias.
+func (d Design) bfsTankAdmittance(f, v float64) complex128 {
+	if d.BFSSelectivity == 0 {
+		return 0
+	}
+	w := units.AngularFrequency(f)
+	w0 := units.AngularFrequency(d.CenterHz)
+	cRes := d.Diode.Capacitance(d.BFSResonanceBias)
+	// Scale factor κ makes B·Z0 = BFSSelectivity·(C(v)/C(res) − 1) at
+	// the center frequency.
+	kappa := d.BFSSelectivity / (w0 * cRes * units.Z0FreeSpace)
+	ct := kappa * d.Diode.Capacitance(v)
+	lt := 1 / (w0 * w0 * kappa * cRes)
+	b := w*ct - 1/(w*lt)
+	return complex(0, b)
+}
+
+// qwpJones returns the Jones matrix of one QWP board rotated by theta,
+// computed from the per-axis circuit model.
+func (d Design) qwpJones(f, theta float64) mat2.Mat {
+	z0 := units.Z0FreeSpace
+	fastS := d.qwpAxisLine(f, false).ToS(z0)
+	slowS := d.qwpAxisLine(f, true).ToS(z0)
+	diag := mat2.Diag(fastS.S21, slowS.S21)
+	return jones.Rotated(diag, theta)
+}
+
+// loadedLine describes the varactor-loaded synthetic line of one BFS axis
+// at a given bias: characteristic impedance drops and phase constant grows
+// with loading (distributed-loading relations), and the varactor ESR adds
+// shunt-conductance loss.
+func (d Design) loadedLine(f, bias float64) (zc complex128, gamma complex128) {
+	n := d.PatternIndex
+	w := units.AngularFrequency(f)
+	cv := d.Diode.Capacitance(bias)
+	// Unloaded per-unit-length parameters of a Z0-matched line with
+	// index n: L' = Z0·n/c, C' = n/(Z0·c).
+	z0 := units.Z0FreeSpace
+	cPrime := n / (z0 * units.C)
+	loading := cv / (d.LoadPitch * cPrime)
+	root := math.Sqrt(1 + loading)
+	zcr := z0 / root
+	beta := (w * n / units.C) * root
+	// Losses: concentrated dielectric + conductor residual + varactor
+	// ESR. The ESR appears as a distributed shunt conductance
+	// G = (ωCv)²·Rs per load, spaced at the pitch.
+	g := (w * cv) * (w * cv) * d.Diode.Rs / d.LoadPitch
+	alphaESR := g * zcr / 2
+	alpha := d.Substrate.DielectricAttenuation(f)*d.BFSConcentration + 0.5 + alphaESR
+	return complex(zcr, 0), complex(alpha, beta)
+}
+
+// bfsAxisNetwork returns the cascaded ABCD network of all BFS layers along
+// one axis at the given bias voltage. The X axis sees the design's bias
+// offset (fabrication/assembly error, §3.3).
+func (d Design) bfsAxisNetwork(f float64, axis Axis, bias float64) twoport.ABCD {
+	if axis == AxisX {
+		bias -= d.BiasOffsetX
+		if bias < 0 {
+			bias = 0
+		}
+	}
+	zc, gamma := d.loadedLine(f, bias)
+	line := twoport.TransmissionLine(zc, gamma, d.BFSPath)
+	tank := twoport.ShuntAdmittance(d.bfsTankAdmittance(f, bias))
+	layer := twoport.Cascade(tank, line, tank)
+	nets := make([]twoport.ABCD, d.BFSLayers)
+	for i := range nets {
+		nets[i] = layer
+	}
+	return twoport.Cascade(nets...)
+}
+
+// bfsAxisPhase returns the line-only transmission phase (radians) of one
+// BFS axis at frequency f and bias v — the electrical length of the
+// loaded line, with no mod-2π ambiguity (excludes face-tank phase).
+func (d Design) bfsAxisPhase(f, v float64) float64 {
+	_, gamma := d.loadedLine(f, v)
+	return imag(gamma) * d.BFSPath * float64(d.BFSLayers)
+}
+
+// bfsUnwrappedPhaseDelta returns the full-network transmission phase
+// change (radians, sign preserved) of one BFS axis as the bias moves from
+// v1 to v2 at frequency f. The bias is stepped in small increments and
+// each wrapped phase difference accumulated, which unwraps the total even
+// when it exceeds 2π.
+func (d Design) bfsUnwrappedPhaseDelta(f, v1, v2 float64) float64 {
+	const steps = 64
+	phaseAt := func(v float64) float64 {
+		// AxisY sees the nominal bias (no offset); build directly.
+		zc, gamma := d.loadedLine(f, v)
+		line := twoport.TransmissionLine(zc, gamma, d.BFSPath)
+		tank := twoport.ShuntAdmittance(d.bfsTankAdmittance(f, v))
+		layer := twoport.Cascade(tank, line, tank)
+		nets := make([]twoport.ABCD, d.BFSLayers)
+		for i := range nets {
+			nets[i] = layer
+		}
+		return twoport.Cascade(nets...).ToS(units.Z0FreeSpace).TransmissionPhase()
+	}
+	total := 0.0
+	prev := phaseAt(v1)
+	for i := 1; i <= steps; i++ {
+		v := v1 + (v2-v1)*float64(i)/steps
+		cur := phaseAt(v)
+		total += units.NormalizeAngle(cur - prev)
+		prev = cur
+	}
+	return total
+}
+
+// AxisTransmission returns the complex through-stack transmission
+// coefficient of one BFS principal axis at frequency f and bias v,
+// referenced to free space.
+func (s *Surface) AxisTransmission(axis Axis, f, v float64) complex128 {
+	return s.design.bfsAxisNetwork(f, axis, v).ToS(units.Z0FreeSpace).S21
+}
+
+// JonesTransmissive returns the Jones matrix of the whole surface in
+// transmissive mode at frequency f with the current bias: Eq. (8)'s
+// Q₊₄₅·B·Q₋₄₅ with every element taken from the circuit model.
+func (s *Surface) JonesTransmissive(f float64) mat2.Mat {
+	d := s.design
+	bfs := mat2.Diag(
+		s.AxisTransmission(AxisX, f, s.biasX),
+		s.AxisTransmission(AxisY, f, s.biasY),
+	)
+	qPlus := d.qwpJones(f, math.Pi/4)
+	qMinus := d.qwpJones(f, -math.Pi/4)
+	return qPlus.Mul(bfs).Mul(qMinus)
+}
+
+// axisReflection returns the complex reflection coefficient of one BFS
+// axis backed by the metal ground plane (short-circuit termination), as
+// seen from the front of the BFS stack.
+func (s *Surface) axisReflection(axis Axis, f, v float64) complex128 {
+	net := s.design.bfsAxisNetwork(f, axis, v)
+	// Short-circuit load: Γ_in = (Zin − Z0)/(Zin + Z0) with Zin of the
+	// short-terminated network. Use a tiny but nonzero load to stay off
+	// the ABCD singularity.
+	zin := net.InputImpedance(complex(1e-6, 0))
+	return twoport.ReflectionCoefficient(zin, complex(units.Z0FreeSpace, 0))
+}
+
+// JonesReflective returns the Jones matrix of the surface in reflective
+// mode at frequency f with the current bias.
+//
+// Two terms superpose in reception coordinates:
+//
+//   - the front-face specular reflection off the first QWP board
+//     (small, bias-independent, polarization-preserving), and
+//   - the stack round trip: in through Q₋₄₅, reflect off the
+//     ground-plane-backed BFS with per-axis coefficients, back out
+//     through the same plate (transpose by reciprocity).
+//
+// For ideal elements the round trip reduces to a fixed 90° polarization
+// flip whose common phase carries the bias dependence — which is why the
+// paper observes that "the rotation will be cancelled after the signal is
+// reflected" yet still measures bias-dependent received power: the
+// interference between the two terms, and the per-axis loss asymmetry,
+// modulate the reflected amplitude.
+func (s *Surface) JonesReflective(f float64) mat2.Mat {
+	d := s.design
+	qMinus := d.qwpJones(f, -math.Pi/4)
+	inner := mat2.Diag(
+		s.axisReflection(AxisX, f, s.biasX),
+		s.axisReflection(AxisY, f, s.biasY),
+	)
+	round := qMinus.Transpose().Mul(inner).Mul(qMinus)
+	// Front-face specular term: reflection of the (slightly mismatched)
+	// QWP sections.
+	fastS := d.qwpAxisLine(f, false).ToS(units.Z0FreeSpace)
+	slowS := d.qwpAxisLine(f, true).ToS(units.Z0FreeSpace)
+	spec := mat2.Diag(fastS.S11, slowS.S11)
+	// Power that reflects specularly never enters the stack: derate the
+	// round trip accordingly so the two terms share the incident energy.
+	gf := cmplx.Abs(fastS.S11)
+	gs := cmplx.Abs(slowS.S11)
+	gmax := math.Max(gf, gs)
+	round = round.Scale(complex(1-gmax*gmax, 0))
+	total := round.Add(spec)
+	// Passivity clamp: constructive interference between the two terms
+	// can nudge the composite marginally above unit gain at low-loss
+	// corners of the model; a passive reflector cannot amplify, so scale
+	// back to the unit sphere when that happens.
+	if s := maxSingularValue(total); s > 1 {
+		total = total.Scale(complex(1/s, 0))
+	}
+	return total
+}
+
+// maxSingularValue returns the largest singular value of m — the maximum
+// field gain over all input polarizations — via the closed-form
+// eigenvalues of m†m.
+func maxSingularValue(m mat2.Mat) float64 {
+	h := m.Adjoint().Mul(m) // Hermitian, PSD
+	tr := real(h.Trace())
+	det := real(h.Det())
+	disc := tr*tr/4 - det
+	if disc < 0 {
+		disc = 0
+	}
+	lam := tr/2 + math.Sqrt(disc)
+	if lam < 0 {
+		return 0
+	}
+	return math.Sqrt(lam)
+}
+
+// FrontReflection returns the bias-dependent complex reflection
+// coefficient of the surface's illuminated face in transmissive mode
+// (axis average). The channel model uses it for the surface↔antenna
+// standing-wave term that makes the optimal bias drift with link distance
+// (Fig. 15).
+func (s *Surface) FrontReflection(f float64) complex128 {
+	sx := s.design.bfsAxisNetwork(f, AxisX, s.biasX).ToS(units.Z0FreeSpace).S11
+	sy := s.design.bfsAxisNetwork(f, AxisY, s.biasY).ToS(units.Z0FreeSpace).S11
+	return (sx + sy) / 2
+}
+
+// Jones returns the surface's Jones matrix in the given mode.
+func (s *Surface) Jones(mode Mode, f float64) mat2.Mat {
+	if mode == Reflective {
+		return s.JonesReflective(f)
+	}
+	return s.JonesTransmissive(f)
+}
+
+// Efficiency returns the Eq. (11) transmission efficiency for an incident
+// wave polarized along the given axis, at frequency f with the current
+// bias: |S_co|² + |S_cross|², i.e. ‖M·ê‖².
+func (s *Surface) Efficiency(axis Axis, f float64) float64 {
+	m := s.JonesTransmissive(f)
+	in := jones.Horizontal()
+	if axis == AxisY {
+		in = jones.Vertical()
+	}
+	return m.MulVec(in).NormSq()
+}
+
+// EfficiencyDB returns Efficiency in dB.
+func (s *Surface) EfficiencyDB(axis Axis, f float64) float64 {
+	return units.LinearToDB(s.Efficiency(axis, f))
+}
+
+// RotationAngle returns the polarization rotation (radians, folded into
+// (−π/2, π/2]) the surface applies in transmissive mode at frequency f
+// with the current bias, extracted from the Jones matrix.
+func (s *Surface) RotationAngle(f float64) float64 {
+	return jones.RotationAngle(s.JonesTransmissive(f))
+}
+
+// RotationDegrees returns RotationAngle in degrees, as reported in
+// Table 1 and Fig. 15(h). The sign is folded out: the paper reports
+// magnitudes.
+func (s *Surface) RotationDegrees(f float64) float64 {
+	return math.Abs(units.Degrees(s.RotationAngle(f)))
+}
+
+// DifferentialPhase returns δ = arg(Ty) − arg(Tx) (radians, wrapped to
+// (−π, π]) of the BFS at frequency f with the current bias — the quantity
+// the rotator halves (θr = δ/2, Eq. 8).
+func (s *Surface) DifferentialPhase(f float64) float64 {
+	tx := s.AxisTransmission(AxisX, f, s.biasX)
+	ty := s.AxisTransmission(AxisY, f, s.biasY)
+	return units.NormalizeAngle(cmplx.Phase(ty) - cmplx.Phase(tx))
+}
+
+// InsertionLossDB returns the best-case power insertion loss (dB ≥ 0) of
+// the surface in transmissive mode at frequency f for an X-polarized
+// wave: −10·log10(efficiency).
+func (s *Surface) InsertionLossDB(f float64) float64 {
+	return -s.EfficiencyDB(AxisX, f)
+}
+
+// BandwidthAboveDB returns the contiguous bandwidth (Hz) around the design
+// center where the X-axis efficiency stays above threshDB (e.g. −3 or −5),
+// scanned over [fLo, fHi] with the given step. The paper's optimized
+// design claims 150 MHz above −5 dB.
+func (s *Surface) BandwidthAboveDB(threshDB, fLo, fHi, step float64) float64 {
+	if step <= 0 || fHi <= fLo {
+		panic("metasurface: bad bandwidth scan range")
+	}
+	f0 := s.design.CenterHz
+	lo, hi := f0, f0
+	for f := f0; f >= fLo; f -= step {
+		if s.EfficiencyDB(AxisX, f) < threshDB {
+			break
+		}
+		lo = f
+	}
+	for f := f0; f <= fHi; f += step {
+		if s.EfficiencyDB(AxisX, f) < threshDB {
+			break
+		}
+		hi = f
+	}
+	if hi == lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,269 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQFunction(t *testing.T) {
+	// Textbook values.
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.15866},
+		{2, 0.02275},
+		{3, 0.00135},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// Monotone decreasing.
+	if !(Q(0.5) > Q(1.0) && Q(1.0) > Q(2.0)) {
+		t.Error("Q not decreasing")
+	}
+}
+
+func TestModulationStringsAndBits(t *testing.T) {
+	cases := map[Modulation]struct {
+		name string
+		bits int
+	}{
+		BPSK:  {"BPSK", 1},
+		QPSK:  {"QPSK", 2},
+		QAM16: {"16-QAM", 4},
+		QAM64: {"64-QAM", 6},
+		GFSK:  {"GFSK", 1},
+	}
+	for m, want := range cases {
+		if m.String() != want.name {
+			t.Errorf("%v name", m)
+		}
+		if m.BitsPerSymbol() != want.bits {
+			t.Errorf("%v bits = %d", m, m.BitsPerSymbol())
+		}
+	}
+}
+
+func TestBERAtZeroSNRIsCoinFlip(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, GFSK} {
+		if got := m.BER(0); got != 0.5 {
+			t.Errorf("%v BER(0) = %v, want 0.5", m, got)
+		}
+		if got := m.BER(-1); got != 0.5 {
+			t.Errorf("%v BER(<0) = %v, want 0.5", m, got)
+		}
+	}
+}
+
+func TestBERMonotoneDecreasing(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, GFSK} {
+		prev := 1.0
+		for db := -5.0; db <= 30; db += 1 {
+			ber := m.BER(math.Pow(10, db/10))
+			if ber > prev+1e-15 {
+				t.Errorf("%v BER rises at %v dB", m, db)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestDenserConstellationsNeedMoreSNR(t *testing.T) {
+	// At a fixed moderate SNR, BER orders BPSK < QPSK < 16QAM < 64QAM.
+	snr := math.Pow(10, 12.0/10)
+	if !(BPSK.BER(snr) <= QPSK.BER(snr) &&
+		QPSK.BER(snr) < QAM16.BER(snr) &&
+		QAM16.BER(snr) < QAM64.BER(snr)) {
+		t.Errorf("constellation ordering broken: %v %v %v %v",
+			BPSK.BER(snr), QPSK.BER(snr), QAM16.BER(snr), QAM64.BER(snr))
+	}
+}
+
+func TestBPSKKnownValue(t *testing.T) {
+	// BPSK at Eb/N0 = 9.6 dB gives BER ≈ 1e-5 (classic benchmark).
+	snr := math.Pow(10, 9.6/10)
+	ber := BPSK.BER(snr)
+	if ber < 0.3e-5 || ber > 3e-5 {
+		t.Errorf("BPSK BER(9.6 dB) = %v, want ≈1e-5", ber)
+	}
+}
+
+func TestRateValidate(t *testing.T) {
+	for _, r := range WiFi11g {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+	if err := BLE1M.Validate(); err != nil {
+		t.Errorf("BLE: %v", err)
+	}
+	bad := []Rate{
+		{Name: "cr0", CodeRate: 0, BitRate: 1e6},
+		{Name: "cr2", CodeRate: 2, BitRate: 1e6},
+		{Name: "neg", CodeRate: 0.5, CodingGainDB: -1, BitRate: 1e6},
+		{Name: "br", CodeRate: 0.5, BitRate: 0},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s accepted", r.Name)
+		}
+	}
+}
+
+func TestPERShape(t *testing.T) {
+	r := WiFi11g[0] // 6M BPSK
+	// PER → 1 at terrible SNR, → 0 at great SNR, monotone between.
+	if got := r.PER(1e-3, 1500); got < 0.99 {
+		t.Errorf("PER at -30 dB = %v, want ≈1", got)
+	}
+	if got := r.PER(1e4, 1500); got > 1e-6 {
+		t.Errorf("PER at 40 dB = %v, want ≈0", got)
+	}
+	prev := 1.1
+	for db := -10.0; db <= 30; db += 1 {
+		per := r.PER(math.Pow(10, db/10), 1500)
+		if per > prev+1e-12 {
+			t.Errorf("PER rises at %v dB", db)
+		}
+		prev = per
+	}
+	// Bigger frames fail more.
+	snr := math.Pow(10, 3.0/10)
+	if !(r.PER(snr, 1500) > r.PER(snr, 100)) {
+		t.Error("long frames should fail more often")
+	}
+}
+
+func TestPERPanicsOnBadFrame(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero frame size should panic")
+		}
+	}()
+	BLE1M.PER(1, 0)
+}
+
+func TestThroughputCeilingAndFloor(t *testing.T) {
+	r := WiFi11g[5] // 54M
+	if got := r.Throughput(1e6, 1500); math.Abs(got-54e6) > 1e3 {
+		t.Errorf("clean-channel throughput = %v", got)
+	}
+	if got := r.Throughput(1e-3, 1500); got > 1e3 {
+		t.Errorf("hopeless-channel throughput = %v", got)
+	}
+}
+
+func TestSelectRatePrefersFastWhenClean(t *testing.T) {
+	r, err := SelectRate(WiFi11g, 1e5, 1500) // 50 dB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "11g 54M" {
+		t.Errorf("clean channel picked %s", r.Name)
+	}
+	// Weak channel: the robust low rate wins.
+	r, err = SelectRate(WiFi11g, math.Pow(10, 2.0/10), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Modulation == QAM64 {
+		t.Errorf("weak channel picked %s", r.Name)
+	}
+	if _, err := SelectRate(nil, 1, 100); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestAdaptedThroughputMonotone(t *testing.T) {
+	prev := -1.0
+	for db := -5.0; db <= 40; db += 1 {
+		tp := AdaptedThroughput(WiFi11g, math.Pow(10, db/10), 1500)
+		if tp < prev-1 {
+			t.Errorf("adapted throughput falls at %v dB: %v after %v", db, tp, prev)
+		}
+		prev = tp
+	}
+	if AdaptedThroughput(nil, 10, 100) != 0 {
+		t.Error("empty table throughput should be 0")
+	}
+}
+
+func TestSNRForPERInvertsPER(t *testing.T) {
+	for _, r := range []Rate{WiFi11g[0], WiFi11g[5], BLE1M} {
+		snr, err := r.SNRForPER(0.1, 1500)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if got := r.PER(snr, 1500); math.Abs(got-0.1) > 0.02 {
+			t.Errorf("%s: PER at inverted SNR = %v, want 0.1", r.Name, got)
+		}
+	}
+	if _, err := BLE1M.SNRForPER(0, 100); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := BLE1M.SNRForPER(1, 100); err == nil {
+		t.Error("target 1 accepted")
+	}
+}
+
+func TestRateLadderStructure(t *testing.T) {
+	thresholds := RateLadder(WiFi11g, 1500)
+	if len(thresholds) < 3 {
+		t.Fatalf("ladder has %d crossovers, want several", len(thresholds))
+	}
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] <= thresholds[i-1] {
+			t.Error("ladder not sorted ascending")
+		}
+	}
+	if RateLadder(nil, 100) != nil {
+		t.Error("empty table ladder should be nil")
+	}
+}
+
+func TestLLAMAGainMovesUpTheLadder(t *testing.T) {
+	// The point of it all: a 15 dB link-budget gain moves the rate
+	// adaptation several rungs up the ladder.
+	frame := 1500
+	snrMismatch := math.Pow(10, 6.0/10) // weak mismatched link
+	snrFixed := math.Pow(10, 21.0/10)   // after LLAMA's +15 dB
+	before, err := SelectRate(WiFi11g, snrMismatch, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := SelectRate(WiFi11g, snrFixed, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(after.BitRate > before.BitRate) {
+		t.Errorf("gain did not raise the rate: %s → %s", before.Name, after.Name)
+	}
+	tpBefore := AdaptedThroughput(WiFi11g, snrMismatch, frame)
+	tpAfter := AdaptedThroughput(WiFi11g, snrFixed, frame)
+	if tpAfter < 2*tpBefore {
+		t.Errorf("throughput gain %vx too small", tpAfter/tpBefore)
+	}
+}
+
+func TestPERProperty(t *testing.T) {
+	// PER ∈ [0,1] for any SNR and frame size.
+	f := func(dbRaw float64, frameRaw uint16) bool {
+		if math.IsNaN(dbRaw) || math.IsInf(dbRaw, 0) {
+			return true
+		}
+		db := math.Mod(dbRaw, 60)
+		frame := int(frameRaw%4096) + 1
+		for _, r := range WiFi11g {
+			per := r.PER(math.Pow(10, db/10), frame)
+			if per < 0 || per > 1 || math.IsNaN(per) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

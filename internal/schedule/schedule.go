@@ -1,0 +1,241 @@
+// Package schedule implements the paper's §7 future-work direction: when
+// several IoT devices with different polarization orientations share one
+// LLAMA surface, tuning the rotation becomes a scheduling problem — the
+// surface can serve different devices in different time slots
+// ("polarization reuse"), or park at a joint compromise.
+//
+// The scheduler evaluates three policies over a slot horizon:
+//
+//   - Static: one bias pair for everyone (the best joint setting);
+//   - RoundRobin: each link gets its own optimal bias in its slot;
+//   - Proportional: slots are allotted to maximize the minimum per-link
+//     throughput (max-min fairness via greedy water-filling).
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is one endpoint pair sharing the surface.
+type Link struct {
+	// Name labels the link in reports.
+	Name string
+	// Throughput returns the link's goodput (bit/s) when the surface is
+	// biased at (vx, vy). Implementations wrap channel scenes + radio
+	// rate adaptation.
+	Throughput func(vx, vy float64) float64
+}
+
+// Validate reports an error for unusable links.
+func (l Link) Validate() error {
+	if l.Name == "" {
+		return errors.New("schedule: link needs a name")
+	}
+	if l.Throughput == nil {
+		return fmt.Errorf("schedule: link %s has no throughput model", l.Name)
+	}
+	return nil
+}
+
+// BiasGrid enumerates the candidate bias pairs policies search over.
+type BiasGrid struct {
+	// VMin, VMax bound both axes.
+	VMin, VMax float64
+	// Step is the grid pitch in volts.
+	Step float64
+}
+
+// DefaultGrid covers the supply range at 1.5 V pitch.
+func DefaultGrid() BiasGrid { return BiasGrid{VMin: 0, VMax: 30, Step: 1.5} }
+
+// Validate reports an error for degenerate grids.
+func (g BiasGrid) Validate() error {
+	if g.Step <= 0 || g.VMax <= g.VMin {
+		return fmt.Errorf("schedule: bad grid [%g,%g] step %g", g.VMin, g.VMax, g.Step)
+	}
+	return nil
+}
+
+// points enumerates the grid.
+func (g BiasGrid) points() [][2]float64 {
+	var pts [][2]float64
+	for vx := g.VMin; vx <= g.VMax+1e-9; vx += g.Step {
+		for vy := g.VMin; vy <= g.VMax+1e-9; vy += g.Step {
+			pts = append(pts, [2]float64{vx, vy})
+		}
+	}
+	return pts
+}
+
+// Allocation is the outcome of a policy: per-link time share, bias
+// assignment and resulting mean throughput.
+type Allocation struct {
+	// Policy names the strategy.
+	Policy string
+	// PerLink holds each link's outcome, index-aligned with the input.
+	PerLink []LinkAllocation
+}
+
+// LinkAllocation is one link's share of the schedule.
+type LinkAllocation struct {
+	// Name mirrors the link name.
+	Name string
+	// Share is the fraction of slots the link's preferred bias is
+	// active.
+	Share float64
+	// Vx, Vy is the bias used during the link's slots.
+	Vx, Vy float64
+	// MeanThroughput is the slot-averaged goodput in bit/s.
+	MeanThroughput float64
+}
+
+// Sum returns the aggregate mean throughput.
+func (a Allocation) Sum() float64 {
+	var s float64
+	for _, l := range a.PerLink {
+		s += l.MeanThroughput
+	}
+	return s
+}
+
+// Min returns the worst per-link mean throughput (the fairness metric).
+func (a Allocation) Min() float64 {
+	m := math.Inf(1)
+	for _, l := range a.PerLink {
+		if l.MeanThroughput < m {
+			m = l.MeanThroughput
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// validateInputs checks the common preconditions.
+func validateInputs(links []Link, grid BiasGrid) error {
+	if len(links) == 0 {
+		return errors.New("schedule: no links")
+	}
+	for _, l := range links {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return grid.Validate()
+}
+
+// Static parks the surface at the single bias pair maximizing the sum
+// throughput — no time sharing.
+func Static(links []Link, grid BiasGrid) (Allocation, error) {
+	if err := validateInputs(links, grid); err != nil {
+		return Allocation{}, err
+	}
+	bestSum := math.Inf(-1)
+	var bestBias [2]float64
+	var bestTps []float64
+	for _, p := range grid.points() {
+		var sum float64
+		tps := make([]float64, len(links))
+		for i, l := range links {
+			tps[i] = l.Throughput(p[0], p[1])
+			sum += tps[i]
+		}
+		if sum > bestSum {
+			bestSum, bestBias, bestTps = sum, p, tps
+		}
+	}
+	alloc := Allocation{Policy: "static"}
+	for i, l := range links {
+		alloc.PerLink = append(alloc.PerLink, LinkAllocation{
+			Name: l.Name, Share: 1, Vx: bestBias[0], Vy: bestBias[1],
+			MeanThroughput: bestTps[i],
+		})
+	}
+	return alloc, nil
+}
+
+// perLinkOptima finds each link's selfish best bias and throughput.
+func perLinkOptima(links []Link, grid BiasGrid) ([][2]float64, []float64) {
+	biases := make([][2]float64, len(links))
+	tps := make([]float64, len(links))
+	for i := range tps {
+		tps[i] = math.Inf(-1)
+	}
+	for _, p := range grid.points() {
+		for i, l := range links {
+			if tp := l.Throughput(p[0], p[1]); tp > tps[i] {
+				tps[i], biases[i] = tp, p
+			}
+		}
+	}
+	return biases, tps
+}
+
+// RoundRobin gives every link an equal share of slots at its own optimal
+// bias — polarization reuse by time division.
+func RoundRobin(links []Link, grid BiasGrid) (Allocation, error) {
+	if err := validateInputs(links, grid); err != nil {
+		return Allocation{}, err
+	}
+	biases, tps := perLinkOptima(links, grid)
+	share := 1 / float64(len(links))
+	alloc := Allocation{Policy: "round-robin"}
+	for i, l := range links {
+		alloc.PerLink = append(alloc.PerLink, LinkAllocation{
+			Name: l.Name, Share: share, Vx: biases[i][0], Vy: biases[i][1],
+			MeanThroughput: tps[i] * share,
+		})
+	}
+	return alloc, nil
+}
+
+// Proportional allots slot shares to maximize the minimum per-link mean
+// throughput: slower links get proportionally more air time (max-min
+// water-filling; with each link served at its own optimum, the closed
+// form is share_i ∝ 1/tp_i).
+func Proportional(links []Link, grid BiasGrid) (Allocation, error) {
+	if err := validateInputs(links, grid); err != nil {
+		return Allocation{}, err
+	}
+	biases, tps := perLinkOptima(links, grid)
+	var invSum float64
+	for _, tp := range tps {
+		if tp <= 0 {
+			return Allocation{}, fmt.Errorf("schedule: link with zero achievable throughput")
+		}
+		invSum += 1 / tp
+	}
+	alloc := Allocation{Policy: "proportional"}
+	for i, l := range links {
+		share := (1 / tps[i]) / invSum
+		alloc.PerLink = append(alloc.PerLink, LinkAllocation{
+			Name: l.Name, Share: share, Vx: biases[i][0], Vy: biases[i][1],
+			MeanThroughput: tps[i] * share,
+		})
+	}
+	return alloc, nil
+}
+
+// Compare runs all three policies and returns them sorted by minimum
+// per-link throughput (the fairness ranking).
+func Compare(links []Link, grid BiasGrid) ([]Allocation, error) {
+	static, err := Static(links, grid)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := RoundRobin(links, grid)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := Proportional(links, grid)
+	if err != nil {
+		return nil, err
+	}
+	out := []Allocation{static, rr, prop}
+	sort.Slice(out, func(i, j int) bool { return out[i].Min() > out[j].Min() })
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/radio"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// twoRealLinks builds two differently-mismatched device links over one
+// shared surface, with throughput from the radio rate-adaptation model.
+func twoRealLinks(t *testing.T) ([]Link, *metasurface.Surface) {
+	t.Helper()
+	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, rxOrient, dist float64) Link {
+		sc := channel.DefaultScene(surf, dist)
+		sc.Rx.Orientation = rxOrient
+		// Low transmit power keeps the links mid-ladder so polarization
+		// conflicts actually cost rate (at high SNR every policy
+		// saturates the top MCS and scheduling is moot).
+		sc.TxPowerW = 2e-5
+		return Link{
+			Name: name,
+			Throughput: func(vx, vy float64) float64 {
+				surf.SetBias(vx, vy)
+				return radio.AdaptedThroughput(radio.WiFi11g, sc.SNR(), 1500)
+			},
+		}
+	}
+	return []Link{
+		mk("sensor-A", 0, 0.48),         // Tx at 90° → full mismatch
+		mk("sensor-B", math.Pi/4, 0.60), // partial mismatch
+	}, surf
+}
+
+func coarseGrid() BiasGrid { return BiasGrid{VMin: 0, VMax: 30, Step: 5} }
+
+func TestValidation(t *testing.T) {
+	links, _ := twoRealLinks(t)
+	if _, err := Static(nil, coarseGrid()); err == nil {
+		t.Error("no links accepted")
+	}
+	if _, err := Static([]Link{{}}, coarseGrid()); err == nil {
+		t.Error("nameless link accepted")
+	}
+	if _, err := Static(links, BiasGrid{VMin: 10, VMax: 5, Step: 1}); err == nil {
+		t.Error("inverted grid accepted")
+	}
+	if _, err := Static(links, BiasGrid{VMin: 0, VMax: 30, Step: 0}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if err := DefaultGrid().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticFindsJointOptimum(t *testing.T) {
+	links, _ := twoRealLinks(t)
+	alloc, err := Static(links, coarseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.PerLink) != 2 {
+		t.Fatalf("per-link entries = %d", len(alloc.PerLink))
+	}
+	// Both entries share one bias.
+	if alloc.PerLink[0].Vx != alloc.PerLink[1].Vx || alloc.PerLink[0].Vy != alloc.PerLink[1].Vy {
+		t.Error("static policy must use a single bias pair")
+	}
+	if alloc.Sum() <= 0 {
+		t.Error("zero aggregate throughput")
+	}
+}
+
+func TestRoundRobinServesEachOptimally(t *testing.T) {
+	links, surf := twoRealLinks(t)
+	alloc, err := RoundRobin(links, coarseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, la := range alloc.PerLink {
+		if math.Abs(la.Share-0.5) > 1e-12 {
+			t.Errorf("%s share = %v, want 0.5", la.Name, la.Share)
+		}
+	}
+	// Each link's slot bias should give it at least the static policy's
+	// instantaneous throughput (it is the selfish optimum).
+	static, err := Static(links, coarseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, la := range alloc.PerLink {
+		surf.SetBias(la.Vx, la.Vy)
+		instant := links[i].Throughput(la.Vx, la.Vy)
+		if instant+1 < static.PerLink[i].MeanThroughput {
+			t.Errorf("%s selfish bias (%v) worse than joint (%v)",
+				la.Name, instant, static.PerLink[i].MeanThroughput)
+		}
+	}
+}
+
+func TestProportionalEqualizesThroughput(t *testing.T) {
+	links, _ := twoRealLinks(t)
+	alloc, err := Proportional(links, coarseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-min water-filling with per-slot optima equalizes the mean
+	// throughputs exactly.
+	a, b := alloc.PerLink[0].MeanThroughput, alloc.PerLink[1].MeanThroughput
+	if math.Abs(a-b) > 1e-6*(a+b) {
+		t.Errorf("proportional shares unequal: %v vs %v", a, b)
+	}
+	// Shares sum to 1.
+	if s := alloc.PerLink[0].Share + alloc.PerLink[1].Share; math.Abs(s-1) > 1e-12 {
+		t.Errorf("shares sum to %v", s)
+	}
+}
+
+func TestFairnessOrdering(t *testing.T) {
+	links, _ := twoRealLinks(t)
+	ranked, err := Compare(links, coarseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("policies = %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Min() > ranked[i-1].Min()+1 {
+			t.Errorf("ranking violated: %s(%v) above %s(%v)",
+				ranked[i-1].Policy, ranked[i-1].Min(), ranked[i].Policy, ranked[i].Min())
+		}
+	}
+	// A real finding of this model: with log-like rate curves, a −3 dB
+	// static compromise usually beats halving the air time, so static
+	// frequently tops the fairness ranking on moderately conflicting
+	// links. All policies must at least keep both links alive.
+	for _, a := range ranked {
+		if a.Min() <= 0 {
+			t.Errorf("%s starves a link", a.Policy)
+		}
+	}
+}
+
+func TestTimeSharingWinsOnPolarizationCliff(t *testing.T) {
+	// When two links need orthogonal rotations and the compromise falls
+	// off the PER cliff (zero rate), only time sharing keeps both
+	// alive — the §7 polarization-reuse case in its purest form.
+	cliff := func(wantHigh bool) func(vx, vy float64) float64 {
+		return func(vx, vy float64) float64 {
+			if (vx > 15) == wantHigh {
+				return 10e6
+			}
+			return 0
+		}
+	}
+	links := []Link{
+		{Name: "needs-high", Throughput: cliff(true)},
+		{Name: "needs-low", Throughput: cliff(false)},
+	}
+	grid := coarseGrid()
+	static, err := Static(links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Proportional(links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Min() != 0 {
+		t.Errorf("static should starve one cliff link, min = %v", static.Min())
+	}
+	if prop.Min() < 4e6 {
+		t.Errorf("proportional min = %v, want ≈5e6", prop.Min())
+	}
+	rr, err := RoundRobin(links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Min() < 4e6 {
+		t.Errorf("round-robin min = %v, want ≈5e6", rr.Min())
+	}
+}
+
+func TestAllocationAggregates(t *testing.T) {
+	a := Allocation{PerLink: []LinkAllocation{
+		{MeanThroughput: 10}, {MeanThroughput: 4},
+	}}
+	if a.Sum() != 14 || a.Min() != 4 {
+		t.Errorf("sum/min = %v/%v", a.Sum(), a.Min())
+	}
+	if (Allocation{}).Min() != 0 {
+		t.Error("empty allocation min should be 0")
+	}
+}
+
+func TestProportionalRejectsDeadLink(t *testing.T) {
+	dead := []Link{{Name: "dead", Throughput: func(vx, vy float64) float64 { return 0 }}}
+	if _, err := Proportional(dead, coarseGrid()); err == nil {
+		t.Error("zero-throughput link accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package scpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func echoTree(t *testing.T) *Tree {
+	t.Helper()
+	tree := NewTree()
+	tree.Add("INSTrument:SELect", func(args []string, query bool) (string, error) {
+		if query {
+			return "CH1", nil
+		}
+		return "", nil
+	})
+	volt := func(args []string, query bool) (string, error) {
+		if query {
+			return "5.000", nil
+		}
+		return "", nil
+	}
+	tree.Add("SOURce:VOLTage", volt)
+	tree.Add("VOLTage", volt) // SOURce is an optional default node
+	return tree
+}
+
+func TestSpecParsing(t *testing.T) {
+	path := parseSpec("INSTrument:SELect")
+	if len(path) != 2 {
+		t.Fatalf("path len = %d", len(path))
+	}
+	if path[0].full != "INSTRUMENT" || path[0].short != "INST" {
+		t.Errorf("token 0 = %+v", path[0])
+	}
+	if path[1].full != "SELECT" || path[1].short != "SEL" {
+		t.Errorf("token 1 = %+v", path[1])
+	}
+}
+
+func TestAbbreviationMatching(t *testing.T) {
+	c := command{full: "INSTRUMENT", short: "INST"}
+	for _, ok := range []string{"INST", "INSTR", "INSTRUMENT"} {
+		if !c.matches(ok) {
+			t.Errorf("%q should match", ok)
+		}
+	}
+	for _, bad := range []string{"IN", "INS", "INSTRUMENTS", "INSTX", "VOLT"} {
+		if c.matches(bad) {
+			t.Errorf("%q should not match", bad)
+		}
+	}
+}
+
+func TestDispatchShortAndLongForms(t *testing.T) {
+	tree := echoTree(t)
+	for _, form := range []string{
+		"INST:SEL?", "INSTRUMENT:SELECT?", "inst:sel?", ":INST:SEL?",
+	} {
+		resp, err := tree.Dispatch(form)
+		if err != nil || resp != "CH1" {
+			t.Errorf("Dispatch(%q) = %q, %v", form, resp, err)
+		}
+	}
+}
+
+func TestDispatchUndefinedHeader(t *testing.T) {
+	tree := echoTree(t)
+	_, err := tree.Dispatch("BOGUS:CMD?")
+	if err == nil || !strings.Contains(err.Error(), "-113") {
+		t.Errorf("undefined header error = %v", err)
+	}
+	// Error is queued.
+	if e := tree.PopError(); !strings.Contains(e, "-113") {
+		t.Errorf("queued error = %q", e)
+	}
+	if e := tree.PopError(); e != `0,"No error"` {
+		t.Errorf("empty queue = %q", e)
+	}
+}
+
+func TestDispatchSemicolonChain(t *testing.T) {
+	tree := echoTree(t)
+	resp, err := tree.Dispatch("INST:SEL CH2; VOLT?; INST:SEL?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "5.000;CH1" {
+		t.Errorf("chained response = %q", resp)
+	}
+}
+
+func TestDispatchSetErrorsAreQueuedNotReturned(t *testing.T) {
+	tree := echoTree(t)
+	// A failing non-query should not fail the dispatch.
+	resp, err := tree.Dispatch("NOPE 5")
+	if err != nil || resp != "" {
+		t.Errorf("set error should be silent: %q, %v", resp, err)
+	}
+	if e := tree.PopError(); !strings.Contains(e, "-113") {
+		t.Errorf("queued = %q", e)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	tree := echoTree(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add should panic")
+		}
+	}()
+	tree.Add("INSTrument:SELect", func([]string, bool) (string, error) { return "", nil })
+}
+
+func TestBadSpecPanics(t *testing.T) {
+	for _, spec := range []string{"", "a:", "lower"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %q should panic", spec)
+				}
+			}()
+			NewTree().Add(spec, func([]string, bool) (string, error) { return "", nil })
+		}()
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler should panic")
+		}
+	}()
+	NewTree().Add("TEST", nil)
+}
+
+func TestErrorQueueBounded(t *testing.T) {
+	tree := echoTree(t)
+	for i := 0; i < 40; i++ {
+		tree.Dispatch("NOPE")
+	}
+	count := 0
+	for tree.PopError() != `0,"No error"` {
+		count++
+		if count > 100 {
+			t.Fatal("error queue never drains")
+		}
+	}
+	if count != 16 {
+		t.Errorf("queue kept %d errors, want 16", count)
+	}
+}
+
+func TestCommandsListing(t *testing.T) {
+	tree := echoTree(t)
+	cmds := tree.Commands()
+	if len(cmds) != 3 {
+		t.Fatalf("commands = %v", cmds)
+	}
+	if cmds[0] != "INSTRUMENT:SELECT" {
+		t.Errorf("sorted commands = %v", cmds)
+	}
+}
+
+func TestArgumentSplitting(t *testing.T) {
+	tree := NewTree()
+	var got []string
+	tree.Add("APPLy", func(args []string, query bool) (string, error) {
+		got = append([]string(nil), args...)
+		return "", nil
+	})
+	if _, err := tree.Dispatch("APPL CH2, 12.5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "CH2" || got[1] != "12.5" {
+		t.Errorf("args = %v", got)
+	}
+}
+
+func TestStarCommand(t *testing.T) {
+	tree := NewTree()
+	tree.Add("*IDN", func(args []string, query bool) (string, error) {
+		return "FAKE,INSTRUMENT", nil
+	})
+	resp, err := tree.Dispatch("*IDN?")
+	if err != nil || resp != "FAKE,INSTRUMENT" {
+		t.Errorf("*IDN? = %q, %v", resp, err)
+	}
+}

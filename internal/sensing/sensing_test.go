@@ -1,0 +1,173 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/simclock"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// sensingScene reproduces the §5.2.2 geometry: reflective deployment,
+// transceiver pair 70 cm apart, metasurface 2 m away, 5 mW transmit.
+func sensingScene(surf *metasurface.Surface) *channel.Scene {
+	sc := channel.DefaultScene(surf, 0.70)
+	sc.Mode = metasurface.Reflective
+	sc.Geom = channel.Geometry{TxRx: 0.70, TxSurface: 2.0, SurfaceRx: 2.0}
+	sc.TxPowerW = 5e-3
+	// Respiration sensing uses co-polarized endpoints; detectability is
+	// a power question, not a polarization-mismatch one.
+	sc.Tx.Orientation = 0
+	sc.MeasurementSaturation = 0
+	return sc
+}
+
+func TestBreatherValidate(t *testing.T) {
+	if err := DefaultBreather().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Breather{
+		{RateHz: 0, ChestDisplacementM: 5e-3, BaselineReflectivity: 0.3},
+		{RateHz: 0.25, ChestDisplacementM: 0, BaselineReflectivity: 0.3},
+		{RateHz: 0.25, ChestDisplacementM: 5e-3, BaselineReflectivity: 0},
+		{RateHz: 0.25, ChestDisplacementM: 0.2, BaselineReflectivity: 0.3},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("breather %d accepted", i)
+		}
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	sc := sensingScene(nil)
+	if _, err := NewMonitor(nil, DefaultBreather(), 10, 0.5); err == nil {
+		t.Error("nil scene accepted")
+	}
+	if _, err := NewMonitor(sc, Breather{}, 10, 0.5); err == nil {
+		t.Error("bad breather accepted")
+	}
+	if _, err := NewMonitor(sc, DefaultBreather(), 0, 0.5); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := NewMonitor(sc, DefaultBreather(), 10, -1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestAnalyzeRecoversKnownRate(t *testing.T) {
+	// Synthetic clean sinusoid at 0.3 Hz.
+	fs := 10.0
+	n := int(60 * fs)
+	rssi := make([]float64, n)
+	for i := range rssi {
+		rssi[i] = -50 + 1.5*math.Sin(2*math.Pi*0.3*float64(i)/fs)
+	}
+	a, err := Analyze(rssi, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Detected {
+		t.Fatal("clean sinusoid not detected")
+	}
+	if math.Abs(a.RateHz-0.3) > 0.05 {
+		t.Errorf("rate = %v Hz, want 0.3", a.RateHz)
+	}
+}
+
+func TestAnalyzeRejectsNoise(t *testing.T) {
+	rng := simclock.RNG(9, "noise-only")
+	fs := 10.0
+	rssi := make([]float64, int(60*fs))
+	for i := range rssi {
+		rssi[i] = -55 + 1.5*rng.NormFloat64()
+	}
+	a, err := Analyze(rssi, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Detected {
+		t.Errorf("pure noise detected as breathing (SNR %v dB)", a.PeakSNRdB)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(make([]float64, 4), 10); err == nil {
+		t.Error("short recording accepted")
+	}
+	if _, err := Analyze(make([]float64, 64), 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	// 16 samples at 10 Hz cannot resolve 0.1 Hz.
+	if _, err := Analyze(make([]float64, 16), 1000); err == nil {
+		t.Error("unresolvable band accepted")
+	}
+}
+
+func TestFig23SurfaceEnablesDetection(t *testing.T) {
+	// The paper's Fig. 23 experiment: at 5 mW the respiration is
+	// undetectable without the metasurface and detectable with it.
+	surf := metasurface.MustNew(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	surf.SetBias(8, 8)
+
+	run := func(s *metasurface.Surface, seed int64) Analysis {
+		sc := sensingScene(s)
+		mon, err := NewMonitor(sc, DefaultBreather(), 10, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := mon.Record(60, simclock.RNG(seed, "fig23"))
+		a, err := Analyze(rec, mon.SampleRateHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	withSurf := run(surf, 21)
+	withoutSurf := run(nil, 21)
+	if !withSurf.Detected {
+		t.Errorf("with surface: breathing not detected (SNR %v dB)", withSurf.PeakSNRdB)
+	}
+	if withSurf.Detected && math.Abs(withSurf.RateHz-0.25) > 0.06 {
+		t.Errorf("detected rate %v Hz, want 0.25", withSurf.RateHz)
+	}
+	if !(withSurf.PeakSNRdB > withoutSurf.PeakSNRdB) {
+		t.Errorf("surface should raise sensing SNR: %v vs %v dB",
+			withSurf.PeakSNRdB, withoutSurf.PeakSNRdB)
+	}
+}
+
+func TestRecordPanics(t *testing.T) {
+	sc := sensingScene(nil)
+	mon, err := NewMonitor(sc, DefaultBreather(), 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(){
+		func() { mon.Record(0, simclock.RNG(1, "x")) },
+		func() { mon.Record(10, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("median even = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %v", m)
+	}
+}

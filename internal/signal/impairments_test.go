@@ -1,0 +1,221 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFrontEndValidate(t *testing.T) {
+	if err := (&FrontEnd{}).Validate(); err != nil {
+		t.Errorf("zero front end should be valid: %v", err)
+	}
+	if err := USRPN210FrontEnd(1e6).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ESP8266FrontEnd(1e6).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []*FrontEnd{
+		{SampleRateHz: -1},
+		{CFOHz: 100}, // no sample rate
+		{CFOHz: 9e5, SampleRateHz: 1e6},
+		{PhaseNoiseStd: -1},
+		{QuantBits: -1},
+		{QuantBits: 30},
+		{QuantBits: 8}, // no full scale
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad front end %d accepted", i)
+		}
+	}
+}
+
+func TestPerfectFrontEndIsTransparent(t *testing.T) {
+	f := &FrontEnd{}
+	src := NewToneSource(100e3, 1e6, 0.5)
+	buf := src.Fill(make([]complex128, 256))
+	orig := append([]complex128(nil), buf...)
+	f.Apply(buf, rand.New(rand.NewSource(1)))
+	for i := range buf {
+		if buf[i] != orig[i] {
+			t.Fatalf("perfect front end altered sample %d", i)
+		}
+	}
+}
+
+func TestCFOShiftsTone(t *testing.T) {
+	fs := 1e6
+	f := &FrontEnd{CFOHz: 50e3, SampleRateHz: fs}
+	src := NewToneSource(100e3, fs, 1)
+	buf := src.Fill(make([]complex128, 1024))
+	f.Apply(buf, nil)
+	spec := append([]complex128(nil), buf...)
+	FFT(spec)
+	bin, _ := PeakBin(spec, 0, len(spec))
+	got := BinFrequency(bin, len(spec), fs)
+	if math.Abs(got-150e3) > 2e3 {
+		t.Errorf("tone after CFO at %v Hz, want 150 kHz", got)
+	}
+}
+
+func TestCFOEstimatorRecoversOffset(t *testing.T) {
+	fs := 1e6
+	f := &FrontEnd{CFOHz: 37e3, SampleRateHz: fs}
+	// A DC "tone" (zero offset) so the estimate equals the CFO itself.
+	buf := make([]complex128, 2048)
+	for i := range buf {
+		buf[i] = 1
+	}
+	f.Apply(buf, nil)
+	if got := EstimateCFO(buf, fs); math.Abs(got-37e3) > 100 {
+		t.Errorf("estimated CFO = %v Hz, want 37 kHz", got)
+	}
+	if EstimateCFO(buf[:1], fs) != 0 {
+		t.Error("short buffer CFO should be 0")
+	}
+}
+
+func TestPhaseContinuityAcrossBlocks(t *testing.T) {
+	fs := 1e6
+	f := &FrontEnd{CFOHz: 10e3, SampleRateHz: fs}
+	a := make([]complex128, 64)
+	b := make([]complex128, 64)
+	for i := range a {
+		a[i], b[i] = 1, 1
+	}
+	f.Apply(a, nil)
+	f.Apply(b, nil)
+	// The first sample of b should continue a's rotation.
+	step := cmplx.Phase(a[1] / a[0])
+	gap := cmplx.Phase(b[0] / a[63])
+	if math.Abs(gap-step) > 1e-9 {
+		t.Errorf("phase discontinuity across blocks: %v vs %v", gap, step)
+	}
+	f.Reset()
+	c := make([]complex128, 2)
+	c[0], c[1] = 1, 1
+	f.Apply(c, nil)
+	if math.Abs(cmplx.Phase(c[0])-step) > 1e-9 {
+		t.Error("reset should restart the LO phase")
+	}
+}
+
+func TestPhaseNoiseSpreadsSpectrum(t *testing.T) {
+	fs := 1e6
+	rng := rand.New(rand.NewSource(5))
+	clean := NewToneSource(125e3, fs, 1).Fill(make([]complex128, 4096))
+	noisy := append([]complex128(nil), clean...)
+	f := &FrontEnd{PhaseNoiseStd: 0.05, SampleRateHz: fs}
+	f.Apply(noisy, rng)
+	// Compare energy concentration at the tone bin.
+	peakFrac := func(buf []complex128) float64 {
+		spec := append([]complex128(nil), buf...)
+		FFT(spec)
+		_, mag := PeakBin(spec, 0, len(spec))
+		var total float64
+		for _, x := range spec {
+			total += real(x)*real(x) + imag(x)*imag(x)
+		}
+		return mag * mag / total
+	}
+	if !(peakFrac(noisy) < peakFrac(clean)*0.95) {
+		t.Errorf("phase noise should smear the tone: %v vs %v", peakFrac(noisy), peakFrac(clean))
+	}
+}
+
+func TestIQImbalanceCreatesImage(t *testing.T) {
+	fs := 1e6
+	f := &FrontEnd{IQGainImbalance: 0.1, IQPhaseSkewRad: 0.05, SampleRateHz: fs}
+	buf := NewToneSource(125e3, fs, 1).Fill(make([]complex128, 4096))
+	f.Apply(buf, nil)
+	spec := append([]complex128(nil), buf...)
+	FFT(spec)
+	// The image appears at −125 kHz.
+	n := len(spec)
+	toneBin := int(125e3 / fs * float64(n))
+	imageBin := n - toneBin
+	img := cmplx.Abs(spec[imageBin])
+	tone := cmplx.Abs(spec[toneBin])
+	if img < tone*0.01 {
+		t.Errorf("no IQ image visible: tone %v image %v", tone, img)
+	}
+	if img > tone {
+		t.Error("image exceeds tone — imbalance model broken")
+	}
+}
+
+func TestDCOffsetAndRemoval(t *testing.T) {
+	f := &FrontEnd{DCOffset: complex(0.05, -0.03)}
+	buf := make([]complex128, 512)
+	f.Apply(buf, nil)
+	dc := EstimateDCOffset(buf)
+	if cmplx.Abs(dc-complex(0.05, -0.03)) > 1e-12 {
+		t.Errorf("estimated DC = %v", dc)
+	}
+	RemoveDCOffset(buf)
+	if got := cmplx.Abs(EstimateDCOffset(buf)); got > 1e-12 {
+		t.Errorf("residual DC = %v", got)
+	}
+	if EstimateDCOffset(nil) != 0 {
+		t.Error("empty DC estimate should be 0")
+	}
+}
+
+func TestQuantizationError(t *testing.T) {
+	f := &FrontEnd{QuantBits: 8, FullScale: 1}
+	rng := rand.New(rand.NewSource(9))
+	buf := make([]complex128, 4096)
+	orig := make([]complex128, len(buf))
+	for i := range buf {
+		buf[i] = complex(rng.Float64()*1.6-0.8, rng.Float64()*1.6-0.8)
+		orig[i] = buf[i]
+	}
+	f.Apply(buf, nil)
+	step := 1.0 / 128
+	for i := range buf {
+		if math.Abs(real(buf[i])-real(orig[i])) > step/2+1e-12 {
+			t.Fatalf("quantization error at %d exceeds half step", i)
+		}
+	}
+	// Clipping at the rails.
+	over := []complex128{complex(2, -2)}
+	f.Apply(over, nil)
+	if real(over[0]) > 1 || imag(over[0]) < -1 {
+		t.Errorf("clipping failed: %v", over[0])
+	}
+}
+
+func TestCheapChipWorseThanUSRP(t *testing.T) {
+	// The ESP8266 front end must destroy more of a tone's coherence
+	// than the USRP's — the hardware story behind Fig. 2's wider IoT
+	// RSSI distributions. Coherence = normalized correlation between
+	// the distorted block and the clean reference.
+	// A 256-sample (0.26 ms) block: short enough that the USRP's 180 Hz
+	// CFO only rotates ~0.3 rad (coherent), long enough that the ESP's
+	// 12 kHz CFO wraps many times (decoherent).
+	fs := 1e6
+	coherence := func(f *FrontEnd, seed int64) float64 {
+		clean := NewToneSource(125e3, fs, 0.5).Fill(make([]complex128, 256))
+		buf := append([]complex128(nil), clean...)
+		f.Apply(buf, rand.New(rand.NewSource(seed)))
+		var dot complex128
+		var ea, eb float64
+		for i := range buf {
+			dot += buf[i] * cmplx.Conj(clean[i])
+			ea += real(buf[i])*real(buf[i]) + imag(buf[i])*imag(buf[i])
+			eb += real(clean[i])*real(clean[i]) + imag(clean[i])*imag(clean[i])
+		}
+		return cmplx.Abs(dot) / math.Sqrt(ea*eb)
+	}
+	u := coherence(USRPN210FrontEnd(fs), 3)
+	e := coherence(ESP8266FrontEnd(fs), 3)
+	if !(e < u) {
+		t.Errorf("ESP8266 coherence %v should trail USRP %v", e, u)
+	}
+	if u < 0.5 {
+		t.Errorf("USRP coherence %v implausibly low over a 4 ms block", u)
+	}
+}

@@ -1,0 +1,164 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	c.Schedule(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	c.Schedule(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	c.RunUntil(100 * time.Millisecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if c.Now() != 100*time.Millisecond {
+		t.Errorf("clock at %v, want 100ms", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func(time.Duration) { order = append(order, i) })
+	}
+	c.RunFor(2 * time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestEventSeesEventTime(t *testing.T) {
+	c := New()
+	var at time.Duration
+	c.Schedule(42*time.Millisecond, func(now time.Duration) { at = now })
+	c.RunUntil(time.Second)
+	if at != 42*time.Millisecond {
+		t.Errorf("event time = %v", at)
+	}
+}
+
+func TestRecurring(t *testing.T) {
+	c := New()
+	count := 0
+	rec := c.ScheduleEvery(20*time.Millisecond, func(now time.Duration) {
+		count++
+		if count == 5 {
+			// Cancel from inside the callback.
+			// (The handle is captured below; cancellation applies to
+			// future firings.)
+		}
+	})
+	c.RunUntil(100 * time.Millisecond) // fires at 20,40,60,80,100
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	rec.Cancel()
+	c.RunUntil(200 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("recurring fired after cancel: %d", count)
+	}
+}
+
+func TestCancelInsideCallback(t *testing.T) {
+	c := New()
+	count := 0
+	var rec *Recurring
+	rec = c.ScheduleEvery(10*time.Millisecond, func(time.Duration) {
+		count++
+		if count == 3 {
+			rec.Cancel()
+		}
+	})
+	c.RunUntil(time.Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestEventSchedulingEvents(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	c.Schedule(10*time.Millisecond, func(now time.Duration) {
+		c.Schedule(5*time.Millisecond, func(now2 time.Duration) {
+			fired = append(fired, now2)
+		})
+	})
+	c.RunUntil(time.Second)
+	if len(fired) != 1 || fired[0] != 15*time.Millisecond {
+		t.Errorf("nested event fired at %v", fired)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	c := New()
+	ran := false
+	c.Schedule(time.Second, func(time.Duration) { ran = true })
+	c.RunUntil(500 * time.Millisecond)
+	if ran {
+		t.Error("future event ran early")
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+	c.RunUntil(time.Second) // exactly at deadline: runs
+	if !ran {
+		t.Error("event at deadline should run")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Error("Step on empty queue should be false")
+	}
+	c.Schedule(time.Millisecond, func(time.Duration) {})
+	if !c.Step() {
+		t.Error("Step should execute the pending event")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := New()
+	cases := []func(){
+		func() { c.Schedule(-time.Second, func(time.Duration) {}) },
+		func() { c.Schedule(time.Second, nil) },
+		func() { c.ScheduleEvery(0, func(time.Duration) {}) },
+		func() { c.ScheduleEvery(time.Second, nil) },
+		func() { c.RunUntil(-time.Second) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a1 := RNG(7, "noise")
+	a2 := RNG(7, "noise")
+	b := RNG(7, "motion")
+	c := RNG(8, "noise")
+	va1, va2 := a1.Float64(), a2.Float64()
+	if va1 != va2 {
+		t.Error("same seed+stream should match")
+	}
+	if vb := b.Float64(); vb == va1 {
+		t.Error("different streams should diverge")
+	}
+	if vc := c.Float64(); vc == va1 {
+		t.Error("different seeds should diverge")
+	}
+}

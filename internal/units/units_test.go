@@ -1,0 +1,248 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBLinearRoundTrip(t *testing.T) {
+	for _, db := range []float64{-40, -10, -3, 0, 3, 10, 30} {
+		got := LinearToDB(DBToLinear(db))
+		if !ApproxEqual(got, db, 1e-9) {
+			t.Errorf("round trip %v dB: got %v", db, got)
+		}
+	}
+}
+
+func TestDBLinearKnownValues(t *testing.T) {
+	cases := []struct {
+		db  float64
+		lin float64
+	}{
+		{0, 1}, {10, 10}, {20, 100}, {-10, 0.1}, {3.0102999566, 2},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); !ApproxEqual(got, c.lin, 1e-6) {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.lin)
+		}
+	}
+}
+
+func TestLinearToDBNonPositive(t *testing.T) {
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Error("LinearToDB(0) should be -Inf")
+	}
+	if !math.IsInf(LinearToDB(-1), -1) {
+		t.Error("LinearToDB(-1) should be -Inf")
+	}
+	if !math.IsInf(WattsToDBm(0), -1) {
+		t.Error("WattsToDBm(0) should be -Inf")
+	}
+}
+
+func TestDBmWatts(t *testing.T) {
+	cases := []struct {
+		dbm float64
+		w   float64
+	}{
+		{0, 1e-3}, {30, 1}, {-30, 1e-6}, {20, 0.1}, {10, 0.01},
+	}
+	for _, c := range cases {
+		if got := DBmToWatts(c.dbm); !ApproxEqual(got, c.w, c.w*1e-9+1e-15) {
+			t.Errorf("DBmToWatts(%v) = %v, want %v", c.dbm, got, c.w)
+		}
+		if got := WattsToDBm(c.w); !ApproxEqual(got, c.dbm, 1e-9) {
+			t.Errorf("WattsToDBm(%v) = %v, want %v", c.w, got, c.dbm)
+		}
+	}
+}
+
+func TestMilliwattConversions(t *testing.T) {
+	if got := MilliwattsToDBm(1); !ApproxEqual(got, 0, 1e-12) {
+		t.Errorf("1 mW = %v dBm, want 0", got)
+	}
+	if got := DBmToMilliwatts(3.0102999566); !ApproxEqual(got, 2, 1e-6) {
+		t.Errorf("3.01 dBm = %v mW, want 2", got)
+	}
+}
+
+func TestFieldRatioDB(t *testing.T) {
+	if got := FieldRatioToDB(10); !ApproxEqual(got, 20, 1e-12) {
+		t.Errorf("FieldRatioToDB(10) = %v, want 20", got)
+	}
+	if got := DBToFieldRatio(20); !ApproxEqual(got, 10, 1e-9) {
+		t.Errorf("DBToFieldRatio(20) = %v, want 10", got)
+	}
+	if !math.IsInf(FieldRatioToDB(0), -1) {
+		t.Error("FieldRatioToDB(0) should be -Inf")
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	// 2.4 GHz is a 12.5 cm wave, the half-wavelength step used in Fig. 15
+	// is ~6 cm.
+	got := Wavelength(2.4e9)
+	if !ApproxEqual(got, 0.12491, 1e-4) {
+		t.Errorf("Wavelength(2.4 GHz) = %v, want ~0.1249 m", got)
+	}
+	if got := Frequency(Wavelength(2.44e9)); !ApproxEqual(got, 2.44e9, 1) {
+		t.Errorf("Frequency(Wavelength(f)) = %v, want 2.44e9", got)
+	}
+}
+
+func TestWavelengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Wavelength(0) should panic")
+		}
+	}()
+	Wavelength(0)
+}
+
+func TestFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Frequency(-1) should panic")
+		}
+	}()
+	Frequency(-1)
+}
+
+func TestAngleHelpers(t *testing.T) {
+	if got := Degrees(math.Pi); !ApproxEqual(got, 180, 1e-12) {
+		t.Errorf("Degrees(pi) = %v", got)
+	}
+	if got := Radians(90); !ApproxEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("Radians(90) = %v", got)
+	}
+	if got := NormalizeAngle(3 * math.Pi); !ApproxEqual(got, math.Pi, 1e-9) {
+		t.Errorf("NormalizeAngle(3pi) = %v, want pi", got)
+	}
+	if got := NormalizeAngleDeg(-270); !ApproxEqual(got, 90, 1e-9) {
+		t.Errorf("NormalizeAngleDeg(-270) = %v, want 90", got)
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+			return true
+		}
+		got := NormalizeAngle(x)
+		if got <= -math.Pi || got > math.Pi {
+			return false
+		}
+		// Same angle modulo 2π.
+		diff := math.Mod(x-got, 2*math.Pi)
+		diff = math.Abs(diff)
+		return diff < 1e-6 || math.Abs(diff-2*math.Pi) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kTB for 1 MHz at 290 K is the textbook -114 dBm.
+	got := ThermalNoiseDBm(1e6)
+	if !ApproxEqual(got, -113.98, 0.05) {
+		t.Errorf("ThermalNoiseDBm(1 MHz) = %v, want ~-114", got)
+	}
+	// 1 Hz: -174 dBm/Hz.
+	got = ThermalNoiseDBm(1)
+	if !ApproxEqual(got, -173.98, 0.05) {
+		t.Errorf("ThermalNoiseDBm(1 Hz) = %v, want ~-174", got)
+	}
+}
+
+func TestShannonCapacity(t *testing.T) {
+	// SNR 0 dB over 1 Hz is exactly 1 bit/s.
+	if got := ShannonCapacity(1, 1); !ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("C(1 Hz, 0 dB) = %v, want 1", got)
+	}
+	if got := ShannonCapacity(1e6, 3); !ApproxEqual(got, 2e6, 1e-6*2e6) {
+		t.Errorf("C(1 MHz, SNR=3) = %v, want 2e6", got)
+	}
+	if got := ShannonCapacity(1e6, -1); got != 0 {
+		t.Errorf("negative SNR capacity = %v, want 0", got)
+	}
+	if got := SpectralEfficiency(1); !ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("SpectralEfficiency(1) = %v, want 1", got)
+	}
+}
+
+func TestFriis(t *testing.T) {
+	// At one wavelength distance the path gain is (1/4π)².
+	f := 2.44e9
+	d := Wavelength(f)
+	want := 1 / (16 * math.Pi * math.Pi)
+	if got := FriisPathGain(f, d); !ApproxEqual(got, want, want*1e-9) {
+		t.Errorf("FriisPathGain at 1λ = %v, want %v", got, want)
+	}
+	// Doubling distance costs 6.02 dB.
+	g1 := FriisPathGain(f, 1)
+	g2 := FriisPathGain(f, 2)
+	if got := LinearToDB(g1 / g2); !ApproxEqual(got, 6.0206, 1e-3) {
+		t.Errorf("distance doubling = %v dB, want 6.02", got)
+	}
+	// Antenna gains multiply linearly.
+	pr := FriisReceivedPower(2, 4, 8, f, 3)
+	if want := 2 * 4 * 8 * FriisPathGain(f, 3); !ApproxEqual(pr, want, want*1e-12) {
+		t.Errorf("FriisReceivedPower = %v, want %v", pr, want)
+	}
+}
+
+func TestFriisPanicsOnZeroDistance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FriisReceivedPower(d=0) should panic")
+		}
+	}()
+	FriisReceivedPower(1, 1, 1, 2.4e9, 0)
+}
+
+func TestFriisRangeExtension(t *testing.T) {
+	// The paper: 15 dB link gain extends range by up to 5.6×.
+	if got := FriisRangeExtension(15); !ApproxEqual(got, 5.62, 0.01) {
+		t.Errorf("FriisRangeExtension(15) = %v, want ~5.62", got)
+	}
+	if got := FriisRangeExtension(0); !ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("FriisRangeExtension(0) = %v, want 1", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Errorf("Clamp(5,0,10) = %v", got)
+	}
+	if got := Clamp(-5, 0, 10); got != 0 {
+		t.Errorf("Clamp(-5,0,10) = %v", got)
+	}
+	if got := Clamp(15, 0, 10); got != 10 {
+		t.Errorf("Clamp(15,0,10) = %v", got)
+	}
+}
+
+func TestClampPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with lo > hi should panic")
+		}
+	}()
+	Clamp(0, 10, 0)
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Abs(p)
+		if p == 0 || math.IsInf(p, 0) || math.IsNaN(p) || p > 1e300 || p < 1e-300 {
+			return true
+		}
+		back := DBToLinear(LinearToDB(p))
+		return math.Abs(back-p) <= p*1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

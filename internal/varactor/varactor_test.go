@@ -1,0 +1,210 @@
+package varactor
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSMV1233Valid(t *testing.T) {
+	if err := SMV1233.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{Name: "c0", C0: 0, Vj: 1, M: 0.5, MaxBias: 30},
+		{Name: "vj", C0: 1e-12, Vj: 0, M: 0.5, MaxBias: 30},
+		{Name: "m", C0: 1e-12, Vj: 1, M: 0, MaxBias: 30},
+		{Name: "cp", C0: 1e-12, Vj: 1, M: 0.5, Cp: -1e-12, MaxBias: 30},
+		{Name: "rs", C0: 1e-12, Vj: 1, M: 0.5, Rs: -1, MaxBias: 30},
+		{Name: "bias", C0: 1e-12, Vj: 1, M: 0.5, MinBias: 10, MaxBias: 5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %s should fail validation", m.Name)
+		}
+	}
+}
+
+func TestPaperCapacitanceEndpoints(t *testing.T) {
+	// §3.2: "Lumped capacitances ranging from 0.84 pF to 2.41 pF …
+	// reverse bias voltages from 2 V to 15 V would realize these values."
+	c2 := SMV1233.Capacitance(2)
+	c15 := SMV1233.Capacitance(15)
+	if math.Abs(c2-2.41e-12) > 0.1e-12 {
+		t.Errorf("C(2V) = %.3f pF, want ≈2.41", c2*1e12)
+	}
+	if math.Abs(c15-0.84e-12) > 0.08e-12 {
+		t.Errorf("C(15V) = %.3f pF, want ≈0.84", c15*1e12)
+	}
+}
+
+func TestCapacitanceMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for v := 0.0; v <= 30; v += 0.25 {
+		c := SMV1233.Capacitance(v)
+		if c >= prev {
+			t.Fatalf("C(V) not strictly decreasing at %v V: %v >= %v", v, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCapacitanceClampsOutsideRange(t *testing.T) {
+	if SMV1233.Capacitance(-5) != SMV1233.Capacitance(0) {
+		t.Error("bias below range should clamp to MinBias")
+	}
+	if SMV1233.Capacitance(99) != SMV1233.Capacitance(30) {
+		t.Error("bias above range should clamp to MaxBias")
+	}
+}
+
+func TestBiasForInvertsCapacitance(t *testing.T) {
+	for v := 0.5; v <= 29.5; v += 0.5 {
+		c := SMV1233.Capacitance(v)
+		got, err := SMV1233.BiasFor(c)
+		if err != nil {
+			t.Fatalf("BiasFor(C(%v)) error: %v", v, err)
+		}
+		if math.Abs(got-v) > 1e-6 {
+			t.Fatalf("BiasFor(C(%v V)) = %v V", v, got)
+		}
+	}
+}
+
+func TestBiasForRejectsOutOfRange(t *testing.T) {
+	if _, err := SMV1233.BiasFor(100e-12); err == nil {
+		t.Error("too-large capacitance should error")
+	}
+	if _, err := SMV1233.BiasFor(0.01e-12); err == nil {
+		t.Error("too-small capacitance should error")
+	}
+}
+
+func TestBiasForRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Abs(math.Mod(raw, 30))
+		c := SMV1233.Capacitance(v)
+		got, err := SMV1233.BiasFor(c)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-v) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTuningRatio(t *testing.T) {
+	// Hyperabrupt varactors give ~3–6× tuning over the full range.
+	r := SMV1233.TuningRatio()
+	if r < 2.5 || r > 8 {
+		t.Errorf("tuning ratio = %v, want 2.5–8", r)
+	}
+}
+
+func TestQualityFactor(t *testing.T) {
+	// Higher bias → lower C → higher Q.
+	qLow := SMV1233.QualityFactor(2.44e9, 2)
+	qHigh := SMV1233.QualityFactor(2.44e9, 15)
+	if !(qHigh > qLow) {
+		t.Errorf("Q should rise with bias: %v vs %v", qLow, qHigh)
+	}
+	if qLow < 5 || qHigh > 500 {
+		t.Errorf("Q out of plausible band: %v … %v", qLow, qHigh)
+	}
+	// Lossless diode: infinite Q.
+	lossless := SMV1233
+	lossless.Rs = 0
+	if !math.IsInf(lossless.QualityFactor(2.44e9, 5), 1) {
+		t.Error("Rs=0 should give infinite Q")
+	}
+}
+
+func TestQualityFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero frequency should panic")
+		}
+	}()
+	SMV1233.QualityFactor(0, 5)
+}
+
+func TestSelfResonanceAboveBand(t *testing.T) {
+	// The diode must be used below package self-resonance at 2.4 GHz,
+	// at least at the high-bias (low C) end.
+	fsr := SMV1233.SelfResonance(15)
+	if fsr < 2.5e9 {
+		t.Errorf("self-resonance at 15 V = %v GHz — unusable in band", fsr/1e9)
+	}
+	noLs := SMV1233
+	noLs.Ls = 0
+	if !math.IsInf(noLs.SelfResonance(5), 1) {
+		t.Error("Ls=0 should give infinite self-resonance")
+	}
+}
+
+func TestImpedanceCapacitiveInBand(t *testing.T) {
+	z := SMV1233.Impedance(2.44e9, 5)
+	if real(z) != SMV1233.Rs {
+		t.Errorf("real part = %v, want Rs", real(z))
+	}
+	if imag(z) >= 0 {
+		t.Errorf("diode at 2.44 GHz should be net capacitive, got %v", z)
+	}
+}
+
+func TestImpedancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive frequency should panic")
+		}
+	}()
+	SMV1233.Impedance(-1, 5)
+}
+
+func TestBankLeakageAndHoldTime(t *testing.T) {
+	// The paper: surface leakage is ~15 nA, so a buffer capacitor can
+	// hold the bias for a long time. With 720 diodes at 20 nA the bank
+	// draws 14.4 µA (pessimistic per-diode datasheet figure); a 1 mF
+	// buffer allowing 1 V droop holds ~69 s. The paper's measured
+	// whole-surface leakage (15 nA) corresponds to HoldTime of days —
+	// both orders of magnitude demonstrate "no big battery needed".
+	b := Bank{Diode: SMV1233, Count: 720}
+	i := b.TotalLeakage()
+	if math.Abs(i-14.4e-6) > 1e-9 {
+		t.Errorf("bank leakage = %v, want 14.4 µA", i)
+	}
+	ht := b.HoldTime(1e-3, 1)
+	if ht < 60 || ht > 80 {
+		t.Errorf("hold time = %v s, want ≈69 s", ht)
+	}
+	// Zero-leakage bank holds forever.
+	zb := Bank{Diode: Model{Name: "ideal", C0: 1e-12, Vj: 1, M: 0.5, MaxBias: 30}, Count: 10}
+	if !math.IsInf(zb.HoldTime(1e-6, 0.1), 1) {
+		t.Error("zero leakage should hold indefinitely")
+	}
+}
+
+func TestHoldTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive droop should panic")
+		}
+	}()
+	Bank{Diode: SMV1233, Count: 1}.HoldTime(1e-6, 0)
+}
+
+func TestStringer(t *testing.T) {
+	s := SMV1233.String()
+	if !strings.Contains(s, "SMV1233") {
+		t.Errorf("String %q should contain part name", s)
+	}
+}

@@ -1,0 +1,159 @@
+package llama
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrefabDesignsBuild(t *testing.T) {
+	for _, d := range []Design{
+		OptimizedFR4(DefaultCarrierHz),
+		NaiveFR4(DefaultCarrierHz),
+		Rogers5880(DefaultCarrierHz),
+		OptimizedFR4(RFIDBandCenter),
+	} {
+		if _, err := BuildSurface(d); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestNewSurfacePanicsOnInvalid(t *testing.T) {
+	d := OptimizedFR4(DefaultCarrierHz)
+	d.BFSLayers = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSurface should panic on invalid design")
+		}
+	}()
+	NewSurface(d)
+}
+
+func TestMismatchedLinkBaseline(t *testing.T) {
+	sc := MismatchedLink(nil, 0.48)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p := sc.ReceivedPowerDBm(); math.IsInf(p, 0) || p > -20 {
+		t.Errorf("mismatched baseline = %v dBm", p)
+	}
+}
+
+func TestLoopOptimizeHeadline(t *testing.T) {
+	loop, err := NewLoop(LoopConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loop.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.GainDB() < 6 {
+		t.Errorf("gain = %.1f dB, want ≥ 6 (paper: up to 15)", loop.GainDB())
+	}
+	if res.BestPowerDBm < loop.BaselineDBm() {
+		t.Error("optimum below baseline")
+	}
+	// Sweep pacing: ≈1 s of virtual time (0.02·N·T²).
+	if el := loop.ElapsedVirtual(); el < time.Second || el > 1500*time.Millisecond {
+		t.Errorf("virtual elapsed = %v", el)
+	}
+	// Range extension sanity: ≥2× at ≥6 dB.
+	if RangeExtension(loop.GainDB()) < 2 {
+		t.Errorf("range extension = %v", RangeExtension(loop.GainDB()))
+	}
+}
+
+func TestLoopFullScan(t *testing.T) {
+	loop, err := NewLoop(LoopConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loop.FullScan(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 36 {
+		t.Errorf("samples = %d, want 6×6", len(res.Samples))
+	}
+}
+
+func TestLoopSurfaceAccess(t *testing.T) {
+	loop, err := NewLoop(LoopConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop.Surface().SetBias(2, 15)
+	if r := loop.Surface().RotationDegrees(DefaultCarrierHz); r < 35 {
+		t.Errorf("rotation at (2,15) = %v°", r)
+	}
+	if loop.Scene() == nil {
+		t.Error("scene should be reachable")
+	}
+}
+
+func TestNetworkedLoop(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	loop, err := StartNetworkedLoop(ctx, LoopConfig{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	idn, err := loop.InstrumentID()
+	if err != nil || !strings.Contains(idn, "2230G") {
+		t.Fatalf("IDN = %q, %v", idn, err)
+	}
+	if _, err := loop.Optimize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if loop.GainDB() < 5 {
+		t.Errorf("networked gain = %.1f dB", loop.GainDB())
+	}
+	if loop.LostReports() != 0 {
+		t.Errorf("lost %d reports", loop.LostReports())
+	}
+	if loop.Surface() == nil {
+		t.Error("surface should be reachable")
+	}
+}
+
+func TestExperimentRegistryReachable(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		if DescribeExperiment(id) == "" {
+			t.Errorf("no description for %s", id)
+		}
+	}
+	res, err := RunExperiment("tab1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "tab1" || len(res.Rows) != 7 {
+		t.Errorf("tab1 shape: %+v", res.ID)
+	}
+	if _, err := RunExperiment("bogus", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEnvironments(t *testing.T) {
+	if len(Absorber().Scatterers) != 0 {
+		t.Error("absorber should be clean")
+	}
+	if len(Laboratory(1, 8).Scatterers) != 8 {
+		t.Error("laboratory scatterer count")
+	}
+}
+
+func TestRangeExtension(t *testing.T) {
+	if got := RangeExtension(15); math.Abs(got-5.62) > 0.01 {
+		t.Errorf("RangeExtension(15) = %v", got)
+	}
+}

@@ -1,0 +1,234 @@
+package llama
+
+// Cross-package integration scenarios: each test tells one of the paper's
+// deployment stories end to end, exercising several subsystems together
+// (surface physics + channel + controller + mobility + PHY rates). These
+// complement the per-package unit tests with whole-system invariants.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/channel"
+	"github.com/llama-surface/llama/internal/control"
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/radio"
+	"github.com/llama-surface/llama/internal/sensing"
+	"github.com/llama-surface/llama/internal/simclock"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// TestScenarioWalkingUser: a user walks with a wearable (sinusoidal arm
+// swing) under a tracked surface. The tracker must deliver better median
+// power than a one-shot optimization that never re-tunes.
+func TestScenarioWalkingUser(t *testing.T) {
+	build := func() (*Loop, channel.ArmSwing) {
+		loop, err := NewLoop(LoopConfig{Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swing := channel.ArmSwing{MeanRad: math.Pi / 2, AmplitudeRad: units.Radians(50), PeriodS: 1}
+		return loop, swing
+	}
+
+	// One-shot: optimize at t=0, never again.
+	oneShot, swing := build()
+	if _, err := oneShot.Optimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var oneShotPower []float64
+	for step := 0; step < 40; step++ {
+		tm := time.Duration(step) * 50 * time.Millisecond
+		oneShot.Scene().Tx.Orientation = swing.OrientationAt(tm)
+		oneShotPower = append(oneShotPower, oneShot.ReceivedDBm())
+	}
+
+	// Tracked: the tracker steps at the same cadence.
+	tracked, swing2 := build()
+	tr, err := tracked.NewTracker(DefaultTrackerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var trackedPower []float64
+	for step := 0; step < 40; step++ {
+		tm := time.Duration(step) * 50 * time.Millisecond
+		tracked.Scene().Tx.Orientation = swing2.OrientationAt(tm)
+		if _, _, err := tr.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		trackedPower = append(trackedPower, tracked.ReceivedDBm())
+	}
+
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(trackedPower) < mean(oneShotPower)-0.5 {
+		t.Errorf("tracking (%.1f dBm mean) should not trail one-shot (%.1f dBm mean)",
+			mean(trackedPower), mean(oneShotPower))
+	}
+	if tr.Stats().Holds == 0 {
+		t.Error("tracker never held — escalating on every step is wasteful")
+	}
+}
+
+// TestScenarioManufacturedPanelCloseToIdeal: a panel drawn with realistic
+// tolerances, driven by the standard controller, must land within a few
+// dB of the ideal surface's optimized link.
+func TestScenarioManufacturedPanelCloseToIdeal(t *testing.T) {
+	ideal, err := NewLoop(LoopConfig{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ideal.Optimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	lat, err := ManufacturePanel(OptimizedFR4(DefaultCarrierHz), DefaultLatticeSpec(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the lattice with the same Algorithm 1 over a direct scene.
+	sc := MismatchedLink(nil, 0.48)
+	act := control.ActuatorFunc(func(vx, vy float64) error {
+		lat.SetBias(vx, vy)
+		return nil
+	})
+	sen := control.SensorFunc(func() (float64, error) {
+		m := lat.JonesTransmissive(DefaultCarrierHz)
+		e := m.MulVec(sc.Tx.State())
+		// Project onto the receiver state over the same geometry.
+		d := sc.Rx.State().Dot(e)
+		p := real(d)*real(d) + imag(d)*imag(d)
+		return units.LinearToDB(p), nil
+	})
+	res, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the polarization-transfer quality (not absolute link
+	// budget — the lattice sensor measures the projection only).
+	idealSurf := ideal.Surface()
+	vx, vy := idealSurf.Bias()
+	idealProj := func() float64 {
+		m := idealSurf.JonesTransmissive(DefaultCarrierHz)
+		d := sc.Rx.State().Dot(m.MulVec(sc.Tx.State()))
+		return units.LinearToDB(real(d)*real(d) + imag(d)*imag(d))
+	}()
+	_ = vx
+	_ = vy
+	if idealProj-res.BestPowerDBm > 3 {
+		t.Errorf("manufactured panel optimized to %.1f dB vs ideal %.1f dB", res.BestPowerDBm, idealProj)
+	}
+}
+
+// TestScenarioSensingNeedsTheSurface: the respiration pipeline over the
+// real reflective physics flips from undetectable to detectable when the
+// optimized surface is deployed, across several noise seeds.
+func TestScenarioSensingNeedsTheSurface(t *testing.T) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(8, 8)
+	detections := 0
+	misses := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		run := func(s *Surface) sensing.Analysis {
+			sc := channel.DefaultScene(s, 0.70)
+			sc.Mode = metasurface.Reflective
+			sc.Geom = Geometry{TxRx: 0.70, TxSurface: 2.0, SurfaceRx: 2.0}
+			sc.TxPowerW = 5e-3
+			sc.Tx.Orientation = 0
+			sc.MeasurementSaturation = 0
+			mon, err := sensing.NewMonitor(sc, sensing.DefaultBreather(), 10, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := mon.Record(60, simclock.RNG(seed, "scenario-sensing"))
+			a, err := sensing.Analyze(rec, mon.SampleRateHz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}
+		if run(surf).Detected {
+			detections++
+		}
+		if !run(nil).Detected {
+			misses++
+		}
+	}
+	if detections < 4 {
+		t.Errorf("with surface: detected in only %d/5 seeds", detections)
+	}
+	if misses < 4 {
+		t.Errorf("without surface: correctly missed in only %d/5 seeds", misses)
+	}
+}
+
+// TestScenarioThroughputAcrossTheLadder: as distance grows, the
+// surface-corrected link walks down the MCS ladder gracefully while the
+// mismatched baseline falls off a cliff — the rate-adaptation view of the
+// Friis range-extension claim.
+func TestScenarioThroughputAcrossTheLadder(t *testing.T) {
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	prevWith := math.Inf(1)
+	cliffDistBase, cliffDistWith := -1.0, -1.0
+	for _, d := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		sc := MismatchedLink(surf, d)
+		sc.TxPowerW = 1e-3
+		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+		if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {
+			t.Fatal(err)
+		}
+		base := MismatchedLink(nil, d)
+		base.TxPowerW = 1e-3
+		tpWith := radio.AdaptedThroughput(radio.WiFi11g, sc.SNR(), 1500)
+		tpBase := radio.AdaptedThroughput(radio.WiFi11g, base.SNR(), 1500)
+		if tpWith > prevWith+1 {
+			t.Errorf("with-surface throughput rose with distance at %v m", d)
+		}
+		prevWith = tpWith
+		if tpBase < 1e3 && cliffDistBase < 0 {
+			cliffDistBase = d
+		}
+		if tpWith < 1e3 && cliffDistWith < 0 {
+			cliffDistWith = d
+		}
+	}
+	if cliffDistBase < 0 {
+		t.Fatal("baseline never fell off the cliff — extend the sweep")
+	}
+	if cliffDistWith > 0 && cliffDistWith < cliffDistBase*2 {
+		t.Errorf("surface range extension too small: cliff at %v m vs baseline %v m",
+			cliffDistWith, cliffDistBase)
+	}
+}
+
+// TestScenarioDeterministicReplay: the same seed must reproduce the same
+// closed-loop outcome bit for bit, across fresh systems.
+func TestScenarioDeterministicReplay(t *testing.T) {
+	run := func() (float64, float64, float64) {
+		loop, err := NewLoop(LoopConfig{Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := loop.Optimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestVx, res.BestVy, res.BestPowerDBm
+	}
+	ax, ay, ap := run()
+	bx, by, bp := run()
+	if ax != bx || ay != by || ap != bp {
+		t.Errorf("replay diverged: (%v,%v,%v) vs (%v,%v,%v)", ax, ay, ap, bx, by, bp)
+	}
+}
