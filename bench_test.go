@@ -24,7 +24,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Run(id, int64(i+1))
+		res, err := experiments.Run(context.Background(), id, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,6 +63,58 @@ func BenchmarkExt900MHz(b *testing.B)     { benchExperiment(b, "ext-900mhz") }
 func BenchmarkExtMultilink(b *testing.B)  { benchExperiment(b, "ext-multilink") }
 func BenchmarkExtThroughput(b *testing.B) { benchExperiment(b, "ext-throughput") }
 func BenchmarkExtSchedule(b *testing.B)   { benchExperiment(b, "ext-schedule") }
+
+// Whole-suite benchmarks: the serial reference path vs the concurrent
+// Engine at several pool widths, so the fan-out speedup (and any
+// coordination overhead on small machines) is measurable.
+
+func BenchmarkRunAllSerial(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAll(ctx, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func benchRunAllParallel(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	eng := &experiments.Engine{Concurrency: workers}
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunAll(ctx, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRunAllParallel2(b *testing.B)        { benchRunAllParallel(b, 2) }
+func BenchmarkRunAllParallel8(b *testing.B)        { benchRunAllParallel(b, 8) }
+func BenchmarkRunAllParallelMaxProcs(b *testing.B) { benchRunAllParallel(b, 0) }
+
+// BenchmarkReplicate5Seeds times the multi-seed aggregation path the
+// paper-style error-bar tables use.
+func BenchmarkReplicate5Seeds(b *testing.B) {
+	ctx := context.Background()
+	eng := &experiments.Engine{Concurrency: 0, IDs: []string{"fig16", "tab1", "fig22"}}
+	for i := 0; i < b.N; i++ {
+		agg, err := eng.Replicate(ctx, []int64{1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(agg) != 3 {
+			b.Fatalf("replicated %d experiments", len(agg))
+		}
+	}
+}
 
 // Micro-benchmarks of the hot paths underneath the experiments, so
 // regressions in the physics kernels are visible independent of the

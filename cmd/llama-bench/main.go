@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	llama-bench -list              list experiment IDs
-//	llama-bench -run fig16         run one experiment
-//	llama-bench -all               run everything (the default)
-//	llama-bench -seed 7 -run fig19 change the random seed
+//	llama-bench -list                 list experiment IDs
+//	llama-bench -run fig16            run one experiment
+//	llama-bench -all                  run everything (the default)
+//	llama-bench -seed 7 -run fig19    change the random seed
+//	llama-bench -parallel             fan experiments out across GOMAXPROCS workers
+//	llama-bench -parallel -seeds 5    replicate across 5 seeds; tables carry mean±stddev
+//	llama-bench -timeout 30s          bound the whole run
+//
+// Tables go to stdout (text, csv or json via -format); the per-experiment
+// timing summary goes to stderr so piped output stays parseable.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,15 +26,45 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		run    = flag.String("run", "", "run a single experiment by ID")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Int64("seed", 1, "random seed for workload generation")
-		format = flag.String("format", "text", "output format: text, csv or json")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "", "run a single experiment by ID")
+		all      = flag.Bool("all", false, "run every experiment")
+		seed     = flag.Int64("seed", 1, "base random seed for workload generation")
+		seeds    = flag.Int("seeds", 1, "replication count: run seeds seed..seed+N-1 and aggregate mean±stddev")
+		parallel = flag.Bool("parallel", false, "fan experiments out across GOMAXPROCS workers (serial otherwise)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		format   = flag.String("format", "text", "output format: text, csv or json")
 	)
 	flag.Parse()
 
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		// Catch this before computing a full run only to fail at the
+		// first emit.
+		fatal(fmt.Errorf("unknown format %q (want text, csv or json)", *format))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	emit := func(res *experiments.Result) error {
+		switch *format {
+		case "text":
+			return res.Render(os.Stdout)
+		case "csv":
+			return res.WriteCSV(os.Stdout)
+		case "json":
+			return res.WriteJSON(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q (want text, csv or json)", *format)
+		}
+	}
+	emitReplicated := func(res *experiments.ReplicatedResult) error {
 		switch *format {
 		case "text":
 			return res.Render(os.Stdout)
@@ -45,27 +82,63 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-14s %s\n", id, experiments.Describe(id))
 		}
-	case *run != "":
-		res, err := experiments.Run(*run, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		if err := emit(res); err != nil {
-			fatal(err)
-		}
 	default:
-		if !*all && flag.NArg() > 0 {
+		if !*all && *run == "" && flag.NArg() > 0 {
 			fatal(fmt.Errorf("unknown arguments %v; use -list, -run or -all", flag.Args()))
 		}
-		results, err := experiments.RunAll(*seed)
-		if err != nil {
+		if *seeds < 1 {
+			fatal(fmt.Errorf("-seeds %d: need at least one seed", *seeds))
+		}
+		opts := experiments.Options{Concurrency: 1}
+		if *parallel {
+			opts.Concurrency = 0 // engine default: GOMAXPROCS
+		}
+		if *run != "" {
+			// Single-experiment runs go through the same engine so
+			// -seeds/-parallel/-timeout compose with -run.
+			opts.IDs = []string{*run}
+		}
+		for s := int64(0); s < int64(*seeds); s++ {
+			opts.Seeds = append(opts.Seeds, *seed+s)
+		}
+		rep, runErr := experiments.Execute(ctx, opts)
+		if rep == nil {
+			fatal(runErr)
+		}
+		// Emit whatever completed even when the run failed, so a late
+		// failure doesn't throw away computed tables; then report which
+		// experiment broke.
+		emitted := 0
+		var emitErr error
+		if len(rep.Replicated) > 0 {
+			for _, res := range rep.Replicated {
+				if err := emitReplicated(res); err != nil {
+					emitErr = fmt.Errorf("emitting %s (after %d of %d tables): %w",
+						res.ID, emitted, len(rep.Replicated), err)
+					break
+				}
+				emitted++
+				fmt.Println()
+			}
+		} else {
+			for _, res := range rep.Results {
+				if err := emit(res); err != nil {
+					emitErr = fmt.Errorf("emitting %s (after %d of %d tables): %w",
+						res.ID, emitted, len(rep.Results), err)
+					break
+				}
+				emitted++
+				fmt.Println()
+			}
+		}
+		if err := rep.Render(os.Stderr); err != nil {
 			fatal(err)
 		}
-		for _, res := range results {
-			if err := emit(res); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
+		if runErr != nil {
+			fatal(runErr)
+		}
+		if emitErr != nil {
+			fatal(emitErr)
 		}
 	}
 }

@@ -34,12 +34,29 @@ func ExampleNewSurface() {
 
 // ExampleRunExperiment regenerates a paper artefact programmatically.
 func ExampleRunExperiment() {
-	res, err := llama.RunExperiment("tab1", 1)
+	res, err := llama.RunExperiment(context.Background(), "tab1", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d rows × %d columns\n", res.ID, len(res.Rows), len(res.Columns))
 	// Output: tab1: 7 rows × 8 columns
+}
+
+// ExampleRunExperiments runs a subset of the registry through the
+// concurrent multi-seed engine and reads the aggregated error bars.
+func ExampleRunExperiments() {
+	report, err := llama.RunExperiments(context.Background(), llama.ExperimentOptions{
+		IDs:         []string{"tab1"},
+		Seeds:       []int64{1, 2, 3},
+		Concurrency: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := report.Replicated[0]
+	fmt.Printf("%s over %d seeds: %d rows × %d columns\n",
+		agg.ID, len(agg.Seeds), len(agg.Mean), len(agg.Columns))
+	// Output: tab1 over 3 seeds: 7 rows × 8 columns
 }
 
 // ExampleRangeExtension converts the headline link gain into the Friis

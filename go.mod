@@ -1,0 +1,3 @@
+module github.com/llama-surface/llama
+
+go 1.24

@@ -22,7 +22,7 @@ func init() {
 	register("ext-multilink", "Extension — §7 future work: two mismatched links sharing one surface", extMultilink)
 }
 
-func ablSubstrate(seed int64) (*Result, error) {
+func ablSubstrate(ctx context.Context, seed int64) (*Result, error) {
 	res := &Result{
 		ID:      "abl-substrate",
 		Title:   "Substrate sweep: loss tangent vs in-band efficiency and board cost",
@@ -46,7 +46,7 @@ func ablSubstrate(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func ablLayers(seed int64) (*Result, error) {
+func ablLayers(ctx context.Context, seed int64) (*Result, error) {
 	res := &Result{
 		ID:      "abl-layers",
 		Title:   "BFS layer count: phase budget vs bandwidth vs loss",
@@ -71,7 +71,7 @@ func ablLayers(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func ablSweep(seed int64) (*Result, error) {
+func ablSweep(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -85,15 +85,15 @@ func ablSweep(seed int64) (*Result, error) {
 		Title:   "Bias search strategies: optimality vs switch budget (50 Hz supply)",
 		Columns: []string{"strategy", "best_dBm", "switches", "time_s"},
 	}
-	full, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1, act, sen)
+	full, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1, act, sen)
 	if err != nil {
 		return nil, err
 	}
-	ctf, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen)
+	ctf, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
 	if err != nil {
 		return nil, err
 	}
-	cd, err := control.CoordinateDescent(context.Background(), control.DefaultSweepConfig(), 2, act, sen)
+	cd, err := control.CoordinateDescent(ctx, control.DefaultSweepConfig(), 2, act, sen)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +107,7 @@ func ablSweep(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func ablSync(seed int64) (*Result, error) {
+func ablSync(ctx context.Context, seed int64) (*Result, error) {
 	// How much optimum power does the controller lose if the Eq. 13
 	// labelling is off by a fraction of the switch period? Mislabelled
 	// samples smear adjacent voltage states, flattening the measured
@@ -124,7 +124,7 @@ func ablSync(seed int64) (*Result, error) {
 	}
 	// Reference: perfectly-labelled sweep.
 	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-	ref, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act,
+	ref, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act,
 		control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil }))
 	if err != nil {
 		return nil, err
@@ -147,7 +147,7 @@ func ablSync(seed int64) (*Result, error) {
 			prevPower = cur
 			return units.WattsToDBm((1-frac)*curW + frac*prevW), nil
 		})
-		found, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen)
+		found, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +164,7 @@ func ablSync(seed int64) (*Result, error) {
 // rfocusStyle models the cited amplitude-based baseline: each element
 // either passes or blocks the through signal (no polarization rotation),
 // so the best it can do on a mismatched link is maximize through power.
-func ablBaseline(seed int64) (*Result, error) {
+func ablBaseline(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -181,7 +181,7 @@ func ablBaseline(seed int64) (*Result, error) {
 
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1.5, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func ablBaseline(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func ext900MHz(seed int64) (*Result, error) {
+func ext900MHz(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.RFIDBandCenter))
 	if err != nil {
 		return nil, err
@@ -224,7 +224,7 @@ func ext900MHz(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func extMultilink(seed int64) (*Result, error) {
+func extMultilink(ctx context.Context, seed int64) (*Result, error) {
 	// Two IoT receivers with different polarization mismatches share one
 	// surface: a single bias setting must compromise. Sweep for the
 	// best joint (sum-capacity) setting and report per-link outcomes.

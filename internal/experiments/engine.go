@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Engine executes registered experiments concurrently across a bounded
+// worker pool. Experiments are pure functions of their seed, so the only
+// determinism hazards are scheduling and aggregation order; the Engine
+// assigns every (experiment, seed) cell a fixed slot before any worker
+// starts and aggregates in slot order, which makes its output bit-identical
+// to the serial RunAll path for any worker count.
+type Engine struct {
+	// Concurrency bounds the worker pool. Zero or negative means
+	// runtime.GOMAXPROCS(0).
+	Concurrency int
+	// IDs restricts the run to a subset of the registry; nil means every
+	// registered experiment. Output is always produced in sorted-ID
+	// order regardless of the order given here, matching the serial
+	// RunAll path.
+	IDs []string
+}
+
+// Timing records one experiment's wall-clock cost, summed across seeds
+// when the run is replicated.
+type Timing struct {
+	ID      string
+	Elapsed time.Duration
+}
+
+// Report summarises an Engine run: the per-seed results in ID order,
+// per-experiment wall time, and the total wall time of the fan-out.
+type Report struct {
+	// Seeds are the seeds run, in the order given.
+	Seeds []int64
+	// Concurrency is the resolved worker count.
+	Concurrency int
+	// Wall is the end-to-end wall time of the whole run.
+	Wall time.Duration
+	// Results holds the tables for Seeds[0], in ID order — deep-equal to
+	// the serial RunAll output for that seed.
+	Results []*Result
+	// Timings lists per-experiment wall time (summed across seeds), in
+	// ID order.
+	Timings []Timing
+	// Replicated aggregates each experiment across all seeds; nil when
+	// the run used a single seed.
+	Replicated []*ReplicatedResult
+}
+
+// Render writes the timing summary as an aligned text table.
+func (rep *Report) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== engine: %d experiments × %d seed(s), %d worker(s), wall %v\n",
+		len(rep.Timings), len(rep.Seeds), rep.Concurrency, rep.Wall.Round(time.Microsecond))
+	width := 0
+	for _, t := range rep.Timings {
+		if len(t.ID) > width {
+			width = len(t.ID)
+		}
+	}
+	for _, t := range rep.Timings {
+		fmt.Fprintf(&sb, "%-*s  %v\n", width, t.ID, t.Elapsed.Round(time.Microsecond))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ReplicatedResult aggregates one experiment across several seeds:
+// per-cell mean and sample standard deviation over the seed axis, so the
+// figure tables carry error bars like the paper's.
+type ReplicatedResult struct {
+	// ID and Title identify the underlying experiment.
+	ID    string
+	Title string
+	// Columns labels the numeric columns (same as the per-seed Result).
+	Columns []string
+	// Seeds are the replication seeds, in run order.
+	Seeds []int64
+	// Mean and Stddev are per-cell statistics over the seed axis; both
+	// have the row/column shape of the per-seed tables. Stddev is the
+	// sample standard deviation (n−1), zero for a single seed.
+	Mean   [][]float64
+	Stddev [][]float64
+	// Elapsed is the total wall time this experiment cost across seeds.
+	Elapsed time.Duration
+}
+
+// Render writes the aggregate as an aligned text table. Cells whose
+// spread is exactly zero (typically the x-axis column, identical across
+// seeds) render as the plain mean; the rest render as mean±stddev.
+func (r *ReplicatedResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s [%d seeds]\n", r.ID, r.Title, len(r.Seeds)); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Mean))
+	for ri, row := range r.Mean {
+		cells[ri] = make([]string, len(row))
+		for ci, m := range row {
+			s := formatCell(m)
+			if sd := r.Stddev[ri][ci]; sd != 0 {
+				s += "±" + formatCell(sd)
+			}
+			cells[ri][ci] = s
+			if n := len([]rune(cells[ri][ci])); n > widths[ci] {
+				widths[ci] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "%*s  ", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	// fmt pads %*s by rune count, so the rune-measured widths align
+	// even though "±" and "—" are multi-byte.
+	for _, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%*s  ", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Options configures a full engine run (the shape llama.RunExperiments
+// takes).
+type Options struct {
+	// IDs restricts the run; nil means every registered experiment.
+	IDs []string
+	// Seeds are the replication seeds; nil means {1}.
+	Seeds []int64
+	// Concurrency bounds the worker pool; ≤0 means GOMAXPROCS.
+	Concurrency int
+}
+
+// Execute runs opts through an Engine and returns the combined report.
+// On failure the report carries whatever completed, and the error names
+// the experiment (and seed) that failed.
+func Execute(ctx context.Context, opts Options) (*Report, error) {
+	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs}
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	return e.run(ctx, seeds)
+}
+
+// RunAll fans every selected experiment out across the pool and returns
+// the results in ID order — deep-equal to the serial RunAll for the same
+// seed, for any Concurrency ≥ 1.
+func (e *Engine) RunAll(ctx context.Context, seed int64) ([]*Result, error) {
+	rep, err := e.run(ctx, []int64{seed})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Results, nil
+}
+
+// Collect is RunAll plus per-experiment timing and the run summary.
+func (e *Engine) Collect(ctx context.Context, seed int64) (*Report, error) {
+	return e.run(ctx, []int64{seed})
+}
+
+// Replicate runs every selected experiment across all seeds and
+// aggregates per-cell mean/stddev. Aggregation iterates seeds in the
+// given order, so the statistics are bit-identical for any worker count.
+// A single seed is valid: the aggregate is that run with zero spread.
+func (e *Engine) Replicate(ctx context.Context, seeds []int64) ([]*ReplicatedResult, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("experiments: Replicate needs at least one seed")
+	}
+	rep, err := e.run(ctx, seeds)
+	if err != nil {
+		return nil, err
+	}
+	if len(seeds) == 1 {
+		// run only aggregates for multi-seed reports (Report.Replicated
+		// stays nil for single-seed runs); fold the degenerate case here
+		// so this method never returns (nil, nil) after a full run.
+		out := make([]*ReplicatedResult, len(rep.Results))
+		for i, r := range rep.Results {
+			agg, err := replicate(r.ID, seeds, []*Result{r}, rep.Timings[i].Elapsed)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = agg
+		}
+		return out, nil
+	}
+	return rep.Replicated, nil
+}
+
+// selected resolves the ID list, validating against the registry.
+func (e *Engine) selected() ([]string, error) {
+	if e.IDs == nil {
+		return IDs(), nil
+	}
+	ids := append([]string(nil), e.IDs...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		}
+	}
+	return ids, nil
+}
+
+// workers resolves the pool size for n jobs.
+func (e *Engine) workers(n int) int {
+	w := e.Concurrency
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// run is the engine core: one bounded pool over the (experiment × seed)
+// job matrix, slot-indexed collection, then deterministic aggregation.
+func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
+	ids, err := e.selected()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	nJobs := len(ids) * len(seeds)
+	grid := make([]*Result, nJobs) // grid[idIdx*len(seeds)+seedIdx]
+	elapsed := make([]time.Duration, nJobs)
+	jobErrs := make([]error, nJobs)
+	workers := e.workers(nJobs)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				id, seed := ids[j/len(seeds)], seeds[j%len(seeds)]
+				t0 := time.Now()
+				res, err := Run(runCtx, id, seed)
+				elapsed[j] = time.Since(t0)
+				if err != nil {
+					jobErrs[j] = fmt.Errorf("experiments: %s (seed %d): %w", id, seed, err)
+					cancel() // fail fast: stop feeding new jobs
+					continue
+				}
+				grid[j] = res
+			}
+		}()
+	}
+feed:
+	for j := 0; j < nJobs; j++ {
+		select {
+		case jobs <- j:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Seeds:       append([]int64(nil), seeds...),
+		Concurrency: workers,
+		Wall:        time.Since(start),
+	}
+	// Error policy, in deterministic order: the caller's cancellation
+	// wins, then the first real (non-cancellation) job failure by slot
+	// index, then any remaining job error. Assembly still runs below so
+	// the report salvages every completed cell either way.
+	firstErr := ctx.Err()
+	if firstErr == nil {
+		for _, jerr := range jobErrs {
+			if jerr == nil {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = jerr
+			}
+			if !errors.Is(jerr, context.Canceled) {
+				firstErr = jerr
+				break
+			}
+		}
+	}
+
+	// Assemble in slot order; on failure keep completed prefix cells so
+	// callers can salvage partial output.
+	for i, id := range ids {
+		var perSeed []*Result
+		total := time.Duration(0)
+		for s := range seeds {
+			j := i*len(seeds) + s
+			total += elapsed[j]
+			if grid[j] != nil {
+				perSeed = append(perSeed, grid[j])
+			}
+		}
+		if len(perSeed) < len(seeds) {
+			continue // incomplete cell row: excluded from the report
+		}
+		rep.Timings = append(rep.Timings, Timing{ID: id, Elapsed: total})
+		rep.Results = append(rep.Results, perSeed[0])
+		if len(seeds) > 1 {
+			agg, err := replicate(id, seeds, perSeed, total)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			rep.Replicated = append(rep.Replicated, agg)
+		}
+	}
+	return rep, firstErr
+}
+
+// replicate folds one experiment's per-seed tables into mean/stddev.
+// Summation iterates seeds in run order, so the result is independent of
+// which worker produced which table.
+func replicate(id string, seeds []int64, runs []*Result, total time.Duration) (*ReplicatedResult, error) {
+	first := runs[0]
+	for _, r := range runs[1:] {
+		if len(r.Rows) != len(first.Rows) || len(r.Columns) != len(first.Columns) {
+			return nil, fmt.Errorf("experiments: %s: non-uniform shape across seeds (%dx%d vs %dx%d)",
+				id, len(r.Rows), len(r.Columns), len(first.Rows), len(first.Columns))
+		}
+	}
+	agg := &ReplicatedResult{
+		ID:      id,
+		Title:   first.Title,
+		Columns: append([]string(nil), first.Columns...),
+		Seeds:   append([]int64(nil), seeds...),
+		Elapsed: total,
+	}
+	n := float64(len(runs))
+	agg.Mean = make([][]float64, len(first.Rows))
+	agg.Stddev = make([][]float64, len(first.Rows))
+	for ri := range first.Rows {
+		agg.Mean[ri] = make([]float64, len(first.Columns))
+		agg.Stddev[ri] = make([]float64, len(first.Columns))
+		for ci := range first.Columns {
+			// Cells identical across seeds (x-axis columns, mostly) fold
+			// exactly: sum/n rounding must not smear a zero spread into
+			// ±1e-15 noise in the rendered error bars.
+			v0, same := first.Rows[ri][ci], true
+			var sum float64
+			for _, r := range runs {
+				v := r.Rows[ri][ci]
+				same = same && v == v0
+				sum += v
+			}
+			if same {
+				agg.Mean[ri][ci] = v0
+				continue
+			}
+			mean := sum / n
+			agg.Mean[ri][ci] = mean
+			if len(runs) > 1 {
+				var ss float64
+				for _, r := range runs {
+					d := r.Rows[ri][ci] - mean
+					ss += d * d
+				}
+				agg.Stddev[ri][ci] = math.Sqrt(ss / (n - 1))
+			}
+		}
+	}
+	return agg, nil
+}

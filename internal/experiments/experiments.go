@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -106,8 +107,12 @@ func (r *Result) Column(i int) []float64 {
 	return out
 }
 
-// Runner generates a result from a seed.
-type Runner func(seed int64) (*Result, error)
+// Runner generates a result from a seed. Runners must be pure: the same
+// seed always yields bit-identical output, and the supplied context is
+// consulted only for cancellation (it never feeds entropy into the
+// result). That purity is what lets the Engine fan runners out across
+// goroutines and still reproduce the serial tables exactly.
+type Runner func(ctx context.Context, seed int64) (*Result, error)
 
 // registry maps experiment IDs to runners, populated by init functions in
 // the per-figure files.
@@ -138,20 +143,28 @@ func IDs() []string {
 // Describe returns the one-line summary for an experiment ID.
 func Describe(id string) string { return descriptions[id] }
 
-// Run executes one experiment by ID.
-func Run(id string, seed int64) (*Result, error) {
+// Run executes one experiment by ID under ctx.
+func Run(ctx context.Context, id string, seed int64) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	return r(seed)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r(ctx, seed)
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll(seed int64) ([]*Result, error) {
+// RunAll executes every experiment serially in ID order. It is the
+// reference path the concurrent Engine must reproduce bit-for-bit; on
+// error the results computed so far are returned alongside it.
+func RunAll(ctx context.Context, seed int64) ([]*Result, error) {
 	var out []*Result
 	for _, id := range IDs() {
-		res, err := Run(id, seed)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := Run(ctx, id, seed)
 		if err != nil {
 			return out, fmt.Errorf("experiments: %s: %w", id, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", 1); err == nil {
+	if _, err := Run(context.Background(), "nope", 1); err == nil {
 		t.Error("unknown id accepted")
 	}
 }
@@ -92,7 +93,7 @@ func TestFormatCell(t *testing.T) {
 }
 
 func TestFig2aShapes(t *testing.T) {
-	res, err := Run("fig2a", 1)
+	res, err := Run(context.Background(), "fig2a", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,15 +122,15 @@ func TestFig2aShapes(t *testing.T) {
 }
 
 func TestFigs8to10Ordering(t *testing.T) {
-	rog, err := Run("fig8", 1)
+	rog, err := Run(context.Background(), "fig8", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := Run("fig9", 1)
+	naive, err := Run(context.Background(), "fig9", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Run("fig10", 1)
+	opt, err := Run(context.Background(), "fig10", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFigs8to10Ordering(t *testing.T) {
 }
 
 func TestTable1Range(t *testing.T) {
-	res, err := Run("tab1", 1)
+	res, err := Run(context.Background(), "tab1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestTable1Range(t *testing.T) {
 }
 
 func TestFig16HeadlineGain(t *testing.T) {
-	res, err := Run("fig16", 1)
+	res, err := Run(context.Background(), "fig16", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestFig16HeadlineGain(t *testing.T) {
 }
 
 func TestFig17AllBandGain(t *testing.T) {
-	res, err := Run("fig17", 1)
+	res, err := Run(context.Background(), "fig17", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestFig17AllBandGain(t *testing.T) {
 }
 
 func TestFig18SurfaceHelps(t *testing.T) {
-	res, err := Run("fig18", 1)
+	res, err := Run(context.Background(), "fig18", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestFig18SurfaceHelps(t *testing.T) {
 }
 
 func TestFig19DirectionalRobust(t *testing.T) {
-	res, err := Run("fig19", 1)
+	res, err := Run(context.Background(), "fig19", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestFig19DirectionalRobust(t *testing.T) {
 }
 
 func TestFig22ReflectiveGain(t *testing.T) {
-	res, err := Run("fig22", 1)
+	res, err := Run(context.Background(), "fig22", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestFig22ReflectiveGain(t *testing.T) {
 }
 
 func TestFig23Detection(t *testing.T) {
-	res, err := Run("fig23", 1)
+	res, err := Run(context.Background(), "fig23", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFig23Detection(t *testing.T) {
 }
 
 func TestAblationSweepOrdering(t *testing.T) {
-	res, err := Run("abl-sweep", 1)
+	res, err := Run(context.Background(), "abl-sweep", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestAblationSweepOrdering(t *testing.T) {
 }
 
 func TestExt900MHz(t *testing.T) {
-	res, err := Run("ext-900mhz", 1)
+	res, err := Run(context.Background(), "ext-900mhz", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestExt900MHz(t *testing.T) {
 }
 
 func TestExtMultilink(t *testing.T) {
-	res, err := Run("ext-multilink", 1)
+	res, err := Run(context.Background(), "ext-multilink", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

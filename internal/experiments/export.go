@@ -20,16 +20,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	row := make([]string, len(r.Columns))
 	for _, vals := range r.Rows {
 		for i, v := range vals {
-			switch {
-			case math.IsNaN(v):
-				row[i] = ""
-			case math.IsInf(v, 1):
-				row[i] = "inf"
-			case math.IsInf(v, -1):
-				row[i] = "-inf"
-			default:
-				row[i] = strconv.FormatFloat(v, 'g', -1, 64)
-			}
+			row[i] = csvCell(v)
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("experiments: csv row: %w", err)
@@ -37,6 +28,89 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteCSV renders the aggregate as CSV: each source column appears
+// twice, as its mean ("col") and its seed-axis spread ("col_sd").
+func (r *ReplicatedResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 2*len(r.Columns))
+	for _, c := range r.Columns {
+		header = append(header, c, c+"_sd")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	row := make([]string, 2*len(r.Columns))
+	for ri := range r.Mean {
+		for ci := range r.Columns {
+			row[2*ci] = csvCell(r.Mean[ri][ci])
+			row[2*ci+1] = csvCell(r.Stddev[ri][ci])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvCell formats one numeric CSV cell, keeping NaN/Inf spreadsheet-safe.
+func csvCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return ""
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// replicatedJSON is the stable JSON shape of a ReplicatedResult.
+type replicatedJSON struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Columns []string    `json:"columns"`
+	Seeds   []int64     `json:"seeds"`
+	Mean    [][]float64 `json:"mean"`
+	Stddev  [][]float64 `json:"stddev"`
+}
+
+// WriteJSON renders the aggregate as a single JSON document, with the
+// same non-finite-value clamping as Result.WriteJSON.
+func (r *ReplicatedResult) WriteJSON(w io.Writer) error {
+	doc := replicatedJSON{
+		ID: r.ID, Title: r.Title, Columns: r.Columns, Seeds: r.Seeds,
+		Mean: cleanRows(r.Mean), Stddev: cleanRows(r.Stddev),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("experiments: json: %w", err)
+	}
+	return nil
+}
+
+// cleanRows clamps non-finite values for JSON encoding (NaN → 0,
+// ±Inf → ±1e308); shared by both WriteJSON implementations.
+func cleanRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		clean := make([]float64, len(row))
+		for j, v := range row {
+			if math.IsNaN(v) {
+				v = 0
+			} else if math.IsInf(v, 0) {
+				v = math.Copysign(1e308, v)
+			}
+			clean[j] = v
+		}
+		out[i] = clean
+	}
+	return out
 }
 
 // resultJSON is the stable JSON shape of a Result.
@@ -48,27 +122,12 @@ type resultJSON struct {
 	Notes   []string    `json:"notes,omitempty"`
 }
 
-// WriteJSON renders the result as a single JSON document. Non-finite
-// values are replaced by nulls via string round-tripping of the row
-// slice (encoding/json rejects NaN/Inf).
+// WriteJSON renders the result as a single JSON document.
+// encoding/json rejects NaN/Inf, so non-finite cells are clamped by
+// cleanRows (NaN → 0, ±Inf → ±1e308, a sentinel far outside any
+// physical value in these tables).
 func (r *Result) WriteJSON(w io.Writer) error {
-	doc := resultJSON{ID: r.ID, Title: r.Title, Columns: r.Columns, Notes: r.Notes}
-	doc.Rows = make([][]float64, len(r.Rows))
-	for i, row := range r.Rows {
-		clean := make([]float64, len(row))
-		for j, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				// JSON has no NaN/Inf; clamp to a sentinel far outside
-				// any physical value in these tables.
-				v = math.Copysign(1e308, v)
-				if math.IsNaN(row[j]) {
-					v = 0
-				}
-			}
-			clean[j] = v
-		}
-		doc.Rows[i] = clean
-	}
+	doc := resultJSON{ID: r.ID, Title: r.Title, Columns: r.Columns, Notes: r.Notes, Rows: cleanRows(r.Rows)}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"math"
@@ -60,7 +61,7 @@ func TestWriteJSONValid(t *testing.T) {
 }
 
 func TestCSVOfRealExperiment(t *testing.T) {
-	res, err := Run("tab1", 1)
+	res, err := Run(context.Background(), "tab1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func init() {
 // increase in the received power usually translates to a throughput
 // improvement"): the RSSI gains of Fig. 16 walked through 802.11g rate
 // adaptation.
-func extThroughput(seed int64) (*Result, error) {
+func extThroughput(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -37,7 +37,7 @@ func extThroughput(seed int64) (*Result, error) {
 		sc.TxPowerW = 1e-3 // low-power IoT radio
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {
+		if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
 			return nil, err
 		}
 		base := channel.DefaultScene(nil, d)
@@ -60,7 +60,7 @@ func extThroughput(seed int64) (*Result, error) {
 // ablYield asks the manufacturing question behind the paper's cost
 // argument: how much fabrication spread and how many dead varactors can
 // the $5/unit panel absorb?
-func ablYield(seed int64) (*Result, error) {
+func ablYield(ctx context.Context, seed int64) (*Result, error) {
 	d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
 	res := &Result{
 		ID:      "abl-yield",
@@ -89,7 +89,7 @@ func ablYield(seed int64) (*Result, error) {
 
 // extSchedule runs the §7 policies over two links with conflicting
 // polarization needs.
-func extSchedule(seed int64) (*Result, error) {
+func extSchedule(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ func init() {
 	register("fig12", "Fig. 12 — polarization rotation angle estimation procedure (§3.4)", fig12)
 }
 
-func fig12(seed int64) (*Result, error) {
+func fig12(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -28,7 +28,7 @@ func fig12(seed int64) (*Result, error) {
 	})
 	cfg := control.DefaultRotationEstimateConfig()
 	cfg.AngleStepDeg = 1
-	est, err := control.EstimateRotation(context.Background(), cfg, measure)
+	est, err := control.EstimateRotation(ctx, cfg, measure)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func init() {
 // Fig15Distances are the paper's half-wavelength Tx–Rx steps (§5.1.1).
 var Fig15Distances = []float64{0.24, 0.30, 0.36, 0.42, 0.48, 0.54, 0.60}
 
-func fig15(seed int64) (*Result, error) {
+func fig15(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -34,7 +34,7 @@ func fig15(seed int64) (*Result, error) {
 			return nil
 		})
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1.5, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +48,7 @@ func fig15(seed int64) (*Result, error) {
 		// §3.4 estimation procedure (coarser turntable for speed).
 		cfg := control.DefaultRotationEstimateConfig()
 		cfg.AngleStepDeg = 3
-		est, err := control.EstimateRotation(context.Background(), cfg,
+		est, err := control.EstimateRotation(ctx, cfg,
 			func(rxAngle, vx, vy float64) (float64, error) {
 				surf.SetBias(vx, vy)
 				scRot := channel.DefaultScene(surf, d)
@@ -66,7 +66,7 @@ func fig15(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func fig16(seed int64) (*Result, error) {
+func fig16(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -80,7 +80,7 @@ func fig16(seed int64) (*Result, error) {
 		sc := channel.DefaultScene(surf, d)
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1, act, sen)
 		if err != nil {
 			return nil, err
 		}

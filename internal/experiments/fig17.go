@@ -13,7 +13,7 @@ func init() {
 	register("fig17", "Fig. 17 — power improvement vs operating frequency across the ISM band", fig17)
 }
 
-func fig17(seed int64) (*Result, error) {
+func fig17(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -29,7 +29,7 @@ func fig17(seed int64) (*Result, error) {
 		sc.FreqHz = f
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 2, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 2, act, sen)
 		if err != nil {
 			return nil, err
 		}

@@ -25,7 +25,7 @@ var Fig18Powers = []float64{2e-6, 2e-5, 2e-4, 2e-3, 2e-2, 0.2, 1.0}
 // environment. When noisyControl is true the bias search observes RSSI
 // with full receiver noise (the controller can mis-tune at low SNR —
 // the mechanism behind Fig. 19(a)'s crossover).
-func capacityVsPower(id, title string, ant antenna.Model, env channel.Environment, noisyControl bool, seed int64) (*Result, error) {
+func capacityVsPower(ctx context.Context, id, title string, ant antenna.Model, env channel.Environment, noisyControl bool, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -63,7 +63,7 @@ func capacityVsPower(id, title string, ant antenna.Model, env channel.Environmen
 			}
 			return p, nil
 		})
-		if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {
+		if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
 			return nil, err
 		}
 		seWith := sc.SpectralEfficiency()
@@ -73,12 +73,12 @@ func capacityVsPower(id, title string, ant antenna.Model, env channel.Environmen
 	return res, nil
 }
 
-func fig18(seed int64) (*Result, error) {
-	omni, err := capacityVsPower("fig18", "", antenna.OmniWiFi, channel.Absorber(), false, seed)
+func fig18(ctx context.Context, seed int64) (*Result, error) {
+	omni, err := capacityVsPower(ctx, "fig18", "", antenna.OmniWiFi, channel.Absorber(), false, seed)
 	if err != nil {
 		return nil, err
 	}
-	dir, err := capacityVsPower("fig18", "", antenna.DirectionalPatch, channel.Absorber(), false, seed+1)
+	dir, err := capacityVsPower(ctx, "fig18", "", antenna.DirectionalPatch, channel.Absorber(), false, seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -94,13 +94,13 @@ func fig18(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func fig19(seed int64) (*Result, error) {
+func fig19(ctx context.Context, seed int64) (*Result, error) {
 	env := channel.Laboratory(seed+101, 12)
-	omni, err := capacityVsPower("fig19", "", antenna.OmniWiFi, env, true, seed)
+	omni, err := capacityVsPower(ctx, "fig19", "", antenna.OmniWiFi, env, true, seed)
 	if err != nil {
 		return nil, err
 	}
-	dir, err := capacityVsPower("fig19", "", antenna.DirectionalPatch, env, true, seed+1)
+	dir, err := capacityVsPower(ctx, "fig19", "", antenna.DirectionalPatch, env, true, seed+1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 
 	"github.com/llama-surface/llama/internal/channel"
@@ -49,12 +51,12 @@ func rssiPDF(id, title string, tx, rx devices.Radio, env channel.Environment, di
 	return res, nil
 }
 
-func fig2a(seed int64) (*Result, error) {
+func fig2a(ctx context.Context, seed int64) (*Result, error) {
 	return rssiPDF("fig2a", "Fig. 2(a) — impact of polarization mismatch on a Wi-Fi link",
 		devices.NetgearAP, devices.ESP8266, channel.Absorber(), 2.0, -60, -25, seed)
 }
 
-func fig2b(seed int64) (*Result, error) {
+func fig2b(ctx context.Context, seed int64) (*Result, error) {
 	return rssiPDF("fig2b", "Fig. 2(b) — impact of polarization mismatch on a BLE link",
 		devices.MetaMotionR, devices.RaspberryPi3, channel.Home(seed+7, 4), 2.0, -90, -55, seed)
 }

@@ -17,7 +17,7 @@ func init() {
 	register("fig20", "Fig. 20 — low-cost IoT link RSSI PDFs with/without the metasurface (mismatched)", fig20)
 }
 
-func fig20(seed int64) (*Result, error) {
+func fig20(ctx context.Context, seed int64) (*Result, error) {
 	const samples = 2000
 	const bins = 30
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
@@ -41,7 +41,7 @@ func fig20(seed int64) (*Result, error) {
 		probe.Rx.Orientation = math.Pi / 2
 		return probe.ReceivedPowerDBm(), nil
 	})
-	if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {
+	if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
 		return nil, err
 	}
 

@@ -30,7 +30,7 @@ func reflectiveScene(surf *metasurface.Surface, d float64) *channel.Scene {
 	return sc
 }
 
-func fig21(seed int64) (*Result, error) {
+func fig21(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -44,7 +44,7 @@ func fig21(seed int64) (*Result, error) {
 		sc := reflectiveScene(surf, d)
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1.5, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func fig21(seed int64) (*Result, error) {
 	return res, nil
 }
 
-func fig22(seed int64) (*Result, error) {
+func fig22(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err
@@ -74,7 +74,7 @@ func fig22(seed int64) (*Result, error) {
 		sc := reflectiveScene(surf, d)
 		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(context.Background(), control.DefaultSweepConfig(), 1.5, act, sen)
+		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/llama-surface/llama/internal/channel"
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/sensing"
@@ -12,7 +14,7 @@ func init() {
 	register("fig23", "Fig. 23 — human respiration sensing with/without the surface at 5 mW", fig23)
 }
 
-func fig23(seed int64) (*Result, error) {
+func fig23(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/units"
 )
@@ -35,22 +37,22 @@ func s21Sweep(id, title string, design metasurface.Design) (*Result, error) {
 	return res, nil
 }
 
-func fig8(seed int64) (*Result, error) {
+func fig8(ctx context.Context, seed int64) (*Result, error) {
 	return s21Sweep("fig8", "Fig. 8 — cascaded rotator on Rogers 5880 (tanδ 0.0009)",
 		metasurface.Rogers5880Design(units.DefaultCarrierHz))
 }
 
-func fig9(seed int64) (*Result, error) {
+func fig9(ctx context.Context, seed int64) (*Result, error) {
 	return s21Sweep("fig9", "Fig. 9 — same geometry on FR4 (tanδ 0.02): loss dominates",
 		metasurface.NaiveFR4Design(units.DefaultCarrierHz))
 }
 
-func fig10(seed int64) (*Result, error) {
+func fig10(ctx context.Context, seed int64) (*Result, error) {
 	return s21Sweep("fig10", "Fig. 10 — optimized thin two-layer FR4 stack",
 		metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 }
 
-func fig11(seed int64) (*Result, error) {
+func fig11(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Golden-output tests: the exact bytes of every Result writer, frozen.
+// These formats are consumed downstream (spreadsheets, plotting scripts,
+// the llama-bench CLI), so a formatting drift is an API break even when
+// the numbers are right.
+
+func goldenResult() *Result {
+	r := &Result{ID: "golden", Title: "golden fixture", Columns: []string{"dist_cm", "gain_dB", "note_val"}}
+	r.AddRow(24, 15.25, 0.001)
+	r.AddRow(48, math.NaN(), math.Inf(1))
+	r.AddNote("headline %.1f dB", 15.25)
+	return r
+}
+
+func goldenReplicated() *ReplicatedResult {
+	return &ReplicatedResult{
+		ID: "golden", Title: "golden fixture", Columns: []string{"d", "v"},
+		Seeds: []int64{1, 2}, Mean: [][]float64{{10, 2.5}}, Stddev: [][]float64{{0, 0.5}},
+	}
+}
+
+func TestGoldenRender(t *testing.T) {
+	const want = "== golden: golden fixture\n" +
+		"dist_cm  gain_dB  note_val  \n" +
+		"  24.00    15.25  1.00e-03  \n" +
+		"  48.00        —      +inf  \n" +
+		"   note: headline 15.2 dB\n"
+	var sb strings.Builder
+	if err := goldenResult().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("Render drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenWriteCSV(t *testing.T) {
+	const want = "dist_cm,gain_dB,note_val\n" +
+		"24,15.25,0.001\n" +
+		"48,,inf\n"
+	var sb strings.Builder
+	if err := goldenResult().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("WriteCSV drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenWriteJSON(t *testing.T) {
+	const want = `{
+  "id": "golden",
+  "title": "golden fixture",
+  "columns": [
+    "dist_cm",
+    "gain_dB",
+    "note_val"
+  ],
+  "rows": [
+    [
+      24,
+      15.25,
+      0.001
+    ],
+    [
+      48,
+      0,
+      1e+308
+    ]
+  ],
+  "notes": [
+    "headline 15.2 dB"
+  ]
+}
+`
+	var sb strings.Builder
+	if err := goldenResult().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("WriteJSON drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenReplicatedRender(t *testing.T) {
+	const want = "== golden: golden fixture [2 seeds]\n" +
+		"    d          v  \n" +
+		"10.00  2.50±0.50  \n"
+	var sb strings.Builder
+	if err := goldenReplicated().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("ReplicatedResult.Render drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenReplicatedWriteCSV(t *testing.T) {
+	const want = "d,d_sd,v,v_sd\n" +
+		"10,0,2.5,0.5\n"
+	var sb strings.Builder
+	if err := goldenReplicated().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("ReplicatedResult.WriteCSV drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenReplicatedWriteJSON(t *testing.T) {
+	const want = `{
+  "id": "golden",
+  "title": "golden fixture",
+  "columns": [
+    "d",
+    "v"
+  ],
+  "seeds": [
+    1,
+    2
+  ],
+  "mean": [
+    [
+      10,
+      2.5
+    ]
+  ],
+  "stddev": [
+    [
+      0,
+      0.5
+    ]
+  ]
+}
+`
+	var sb strings.Builder
+	if err := goldenReplicated().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("ReplicatedResult.WriteJSON drifted from golden output.\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestRenderByteStable: a real experiment table renders to identical
+// bytes on repeated runs with the same seed — the property the golden
+// fixtures above rely on.
+func TestRenderByteStable(t *testing.T) {
+	render := func() string {
+		res, err := Run(t.Context(), "tab1", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("tab1 render is not byte-stable across runs")
+	}
+}

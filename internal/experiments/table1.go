@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/units"
 )
@@ -12,7 +14,7 @@ func init() {
 // Table1Biases is the voltage grid of the paper's Table 1.
 var Table1Biases = []float64{2, 3, 4, 5, 6, 10, 15}
 
-func table1(seed int64) (*Result, error) {
+func table1(ctx context.Context, seed int64) (*Result, error) {
 	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
 	if err != nil {
 		return nil, err

@@ -234,10 +234,33 @@ func DescribeExperiment(id string) string { return experiments.Describe(id) }
 // ExperimentResult is a regenerated table/figure.
 type ExperimentResult = experiments.Result
 
+// ExperimentOptions selects which experiments to run, across which
+// replication seeds, and how wide the worker pool fans out.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is the outcome of an engine run: per-seed tables in
+// ID order, per-experiment wall time, and (for multi-seed runs) the
+// mean±stddev aggregates.
+type ExperimentReport = experiments.Report
+
+// ReplicatedExperiment is one experiment aggregated across seeds.
+type ReplicatedExperiment = experiments.ReplicatedResult
+
+// ExperimentEngine is the concurrent multi-seed experiment executor.
+type ExperimentEngine = experiments.Engine
+
 // RunExperiment regenerates one paper artefact by ID (e.g. "fig16",
 // "tab1") with the given seed.
-func RunExperiment(id string, seed int64) (*ExperimentResult, error) {
-	return experiments.Run(id, seed)
+func RunExperiment(ctx context.Context, id string, seed int64) (*ExperimentResult, error) {
+	return experiments.Run(ctx, id, seed)
+}
+
+// RunExperiments executes the selected experiments concurrently across
+// the configured seeds and worker pool. The zero Options value runs the
+// whole registry once with seed 1 at GOMAXPROCS workers; results are
+// bit-identical to a serial run regardless of concurrency.
+func RunExperiments(ctx context.Context, opts ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Execute(ctx, opts)
 }
 
 // RangeExtension converts a link-budget gain in dB to the Friis range

@@ -131,14 +131,14 @@ func TestExperimentRegistryReachable(t *testing.T) {
 			t.Errorf("no description for %s", id)
 		}
 	}
-	res, err := RunExperiment("tab1", 1)
+	res, err := RunExperiment(context.Background(), "tab1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ID != "tab1" || len(res.Rows) != 7 {
 		t.Errorf("tab1 shape: %+v", res.ID)
 	}
-	if _, err := RunExperiment("bogus", 1); err == nil {
+	if _, err := RunExperiment(context.Background(), "bogus", 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
