@@ -100,6 +100,59 @@ func BenchmarkRunAllParallel2(b *testing.B)        { benchRunAllParallel(b, 2) }
 func BenchmarkRunAllParallel8(b *testing.B)        { benchRunAllParallel(b, 8) }
 func BenchmarkRunAllParallelMaxProcs(b *testing.B) { benchRunAllParallel(b, 0) }
 
+// Row-sharded whole-suite benchmarks: same pool widths with every sweep
+// split into per-point jobs. Comparing RunAllSharded* against
+// RunAllParallel* isolates what interleaving row jobs into the queue buys
+// (and costs, on small machines).
+
+func benchRunAllSharded(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	eng := &experiments.Engine{Concurrency: workers, ShardRows: true}
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunAll(ctx, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRunAllSharded2(b *testing.B)        { benchRunAllSharded(b, 2) }
+func BenchmarkRunAllSharded8(b *testing.B)        { benchRunAllSharded(b, 8) }
+func BenchmarkRunAllShardedMaxProcs(b *testing.B) { benchRunAllSharded(b, 0) }
+
+// Single-experiment serial-vs-sharded benchmarks: the case the sharding
+// exists for. A lone long sweep (fig15's seven full bias-plane scans)
+// bounds wall-clock for the whole-experiment engine no matter how many
+// workers it has; sharding its rows is the only way -parallel helps a
+// single -run.
+
+func benchSingleExperiment(b *testing.B, id string, workers int, shard bool) {
+	b.Helper()
+	ctx := context.Background()
+	eng := &experiments.Engine{Concurrency: workers, IDs: []string{id}, ShardRows: shard}
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunAll(ctx, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 1 {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
+func BenchmarkFig15Serial(b *testing.B)       { benchSingleExperiment(b, "fig15", 1, false) }
+func BenchmarkFig15Sharded4(b *testing.B)     { benchSingleExperiment(b, "fig15", 4, true) }
+func BenchmarkFig15Sharded8(b *testing.B)     { benchSingleExperiment(b, "fig15", 8, true) }
+func BenchmarkFig19Serial(b *testing.B)       { benchSingleExperiment(b, "fig19", 1, false) }
+func BenchmarkFig19Sharded8(b *testing.B)     { benchSingleExperiment(b, "fig19", 8, true) }
+func BenchmarkExt900MHzSerial(b *testing.B)   { benchSingleExperiment(b, "ext-900mhz", 1, false) }
+func BenchmarkExt900MHzSharded8(b *testing.B) { benchSingleExperiment(b, "ext-900mhz", 8, true) }
+
 // BenchmarkReplicate5Seeds times the multi-seed aggregation path the
 // paper-style error-bar tables use.
 func BenchmarkReplicate5Seeds(b *testing.B) {

@@ -9,6 +9,7 @@
 //	llama-bench -seed 7 -run fig19    change the random seed
 //	llama-bench -parallel             fan experiments out across GOMAXPROCS workers
 //	llama-bench -parallel -seeds 5    replicate across 5 seeds; tables carry mean±stddev
+//	llama-bench -shard-rows -run fig15  split one experiment's sweep rows across the pool
 //	llama-bench -timeout 30s          bound the whole run
 //
 // Tables go to stdout (text, csv or json via -format); the per-experiment
@@ -32,6 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed for workload generation")
 		seeds    = flag.Int("seeds", 1, "replication count: run seeds seed..seed+N-1 and aggregate mean±stddev")
 		parallel = flag.Bool("parallel", false, "fan experiments out across GOMAXPROCS workers (serial otherwise)")
+		shard    = flag.Bool("shard-rows", false, "split each experiment's sweep rows into per-point jobs so even a single -run saturates the pool (implies -parallel; output is bit-identical)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		format   = flag.String("format", "text", "output format: text, csv or json")
 	)
@@ -89,8 +91,8 @@ func main() {
 		if *seeds < 1 {
 			fatal(fmt.Errorf("-seeds %d: need at least one seed", *seeds))
 		}
-		opts := experiments.Options{Concurrency: 1}
-		if *parallel {
+		opts := experiments.Options{Concurrency: 1, ShardRows: *shard}
+		if *parallel || *shard {
 			opts.Concurrency = 0 // engine default: GOMAXPROCS
 		}
 		if *run != "" {

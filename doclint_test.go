@@ -1,0 +1,144 @@
+package llama
+
+// TestDocLint is the documentation gate CI's docs job runs: the public
+// API (this root package) must document every exported identifier, and
+// every internal package must carry a package-level doc comment. It
+// parses source with go/ast rather than grepping so methods, grouped
+// declarations and struct fields are judged the way godoc renders them.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(t *testing.T, dir string) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	return pkgs
+}
+
+// TestDocLintRootPackage fails on any undocumented exported identifier in
+// the root llama package: functions, methods, types, and const/var specs
+// (a doc comment on the enclosing grouped declaration covers its specs).
+func TestDocLintRootPackage(t *testing.T) {
+	pkgs := parseDir(t, ".")
+	pkg, ok := pkgs["llama"]
+	if !ok {
+		t.Fatalf("no llama package found (have %v)", pkgs)
+	}
+	for name, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue // method on an unexported type: not API surface
+				}
+				if d.Doc == nil {
+					t.Errorf("%s: exported %s %s has no doc comment", name, declKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(t, name, d)
+			}
+		}
+	}
+}
+
+// TestDocLintInternalPackages fails on any internal package missing a
+// package-level doc comment.
+func TestDocLintInternalPackages(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found")
+	}
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			continue
+		}
+		for pkgName, pkg := range parseDir(t, dir) {
+			documented := false
+			for _, file := range pkg.Files {
+				if file.Doc != nil && strings.Contains(file.Doc.Text(), "Package "+pkgName) {
+					documented = true
+				}
+			}
+			if !documented {
+				t.Errorf("internal package %s (%s) has no package doc comment", pkgName, dir)
+			}
+		}
+	}
+}
+
+// lintGenDecl checks an exported const/var/type declaration: the group's
+// doc covers all specs; otherwise each exported spec needs its own doc or
+// trailing comment.
+func lintGenDecl(t *testing.T, file string, d *ast.GenDecl) {
+	t.Helper()
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				t.Errorf("%s: exported type %s has no doc comment", file, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					t.Errorf("%s: exported value %s has no doc comment", file, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// declKind labels a FuncDecl for error messages.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

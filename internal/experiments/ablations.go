@@ -13,262 +13,308 @@ import (
 )
 
 func init() {
-	register("abl-substrate", "Ablation — substrate loss tangent vs peak efficiency and cost", ablSubstrate)
-	register("abl-layers", "Ablation — BFS layer count vs bandwidth (Eq. 12) vs insertion loss", ablLayers)
-	register("abl-sweep", "Ablation — Algorithm 1 vs full scan vs coordinate descent", ablSweep)
-	register("abl-sync", "Ablation — Eq. 13 synchronization sensitivity to clock offset", ablSync)
-	register("abl-baseline", "Ablation — polarization rotator vs RFocus-style on/off amplitude surface", ablBaseline)
-	register("ext-900mhz", "Extension — the §3.2 rescaled 900 MHz (RFID band) design", ext900MHz)
-	register("ext-multilink", "Extension — §7 future work: two mismatched links sharing one surface", extMultilink)
+	registerSweep(ablSubstrateSweep())
+	registerSweep(ablLayersSweep())
+	registerSweep(ablSweepSweep())
+	registerSweep(ablSyncSweep())
+	registerSweep(ablBaselineSweep())
+	registerSweep(ext900MHzSweep())
+	registerSweep(extMultilinkSweep())
 }
 
-func ablSubstrate(ctx context.Context, seed int64) (*Result, error) {
-	res := &Result{
-		ID:      "abl-substrate",
-		Title:   "Substrate sweep: loss tangent vs in-band efficiency and board cost",
-		Columns: []string{"tanDelta", "effX_dB", "boardCost_USD"},
-	}
-	for _, tand := range []float64{0.0009, 0.004, 0.01, 0.02, 0.03} {
-		d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
-		d.Substrate = materials.Dielectric{
-			Name: "sweep", EpsilonR: 4.4, LossTangent: tand,
-			// Cost model: low-loss laminates price superlinearly.
-			CostPerM2PerLayer: 150 + 3000*math.Pow(0.02/math.Max(tand, 1e-4), 1.2)/22.2,
-		}
-		surf, err := metasurface.New(d)
-		if err != nil {
-			return nil, err
-		}
-		surf.SetBias(8, 8)
-		res.AddRow(tand, surf.EfficiencyDB(metasurface.AxisX, units.DefaultCarrierHz), d.BillOfMaterials().PCB)
-	}
-	res.AddNote("efficiency degrades smoothly with tanδ while cost explodes toward low-loss laminates — the optimization target of §3.2")
-	return res, nil
-}
-
-func ablLayers(ctx context.Context, seed int64) (*Result, error) {
-	res := &Result{
-		ID:      "abl-layers",
-		Title:   "BFS layer count: phase budget vs bandwidth vs loss",
-		Columns: []string{"layers", "effX_dB", "bw5dB_MHz", "maxRot_deg"},
-	}
-	for _, layers := range []int{1, 2, 3, 4} {
-		d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
-		d.BFSLayers = layers
-		d.LoadPitch = d.CalibrateLoadPitch(units.Radians(97), 0.9, 15)
-		surf, err := metasurface.New(d)
-		if err != nil {
-			return nil, err
-		}
-		surf.SetBias(8, 8)
-		eff := surf.EfficiencyDB(metasurface.AxisX, units.DefaultCarrierHz)
-		bw := surf.BandwidthAboveDB(-5, 2.0e9, 2.9e9, 5e6) / 1e6
-		surf.SetBias(2, 15)
-		rot := surf.RotationDegrees(units.DefaultCarrierHz)
-		res.AddRow(float64(layers), eff, bw, rot)
-	}
-	res.AddNote("two layers hit the paper's balance: enough phase budget for ≈48° rotation at acceptable loss (Eq. 12 trade)")
-	return res, nil
-}
-
-func ablSweep(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	sc := channel.DefaultScene(surf, 0.48)
-	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-	sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-
-	res := &Result{
-		ID:      "abl-sweep",
-		Title:   "Bias search strategies: optimality vs switch budget (50 Hz supply)",
-		Columns: []string{"strategy", "best_dBm", "switches", "time_s"},
-	}
-	full, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1, act, sen)
-	if err != nil {
-		return nil, err
-	}
-	ctf, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
-	if err != nil {
-		return nil, err
-	}
-	cd, err := control.CoordinateDescent(ctx, control.DefaultSweepConfig(), 2, act, sen)
-	if err != nil {
-		return nil, err
-	}
-	period := control.DefaultSweepConfig().SwitchPeriod
-	res.AddRow(1, full.BestPowerDBm, float64(full.Switches), full.Elapsed(period).Seconds())
-	res.AddRow(2, ctf.BestPowerDBm, float64(ctf.Switches), ctf.Elapsed(period).Seconds())
-	res.AddRow(3, cd.BestPowerDBm, float64(cd.Switches), cd.Elapsed(period).Seconds())
-	res.AddNote("strategy 1 = full scan (reference optimum), 2 = Algorithm 1 coarse-to-fine, 3 = golden-section coordinate descent")
-	res.AddNote("Algorithm 1 gives up %.1f dB vs the full scan while being %.0f× faster (paper: ~30 s → 1 s)",
-		full.BestPowerDBm-ctf.BestPowerDBm, float64(full.Switches)/float64(ctf.Switches))
-	return res, nil
-}
-
-func ablSync(ctx context.Context, seed int64) (*Result, error) {
-	// How much optimum power does the controller lose if the Eq. 13
-	// labelling is off by a fraction of the switch period? Mislabelled
-	// samples smear adjacent voltage states, flattening the measured
-	// landscape.
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	sc := channel.DefaultScene(surf, 0.48)
-	res := &Result{
-		ID:      "abl-sync",
-		Title:   "Synchronization error vs found-optimum quality",
-		Columns: []string{"offset_fraction", "found_dBm", "penalty_dB"},
-	}
-	// Reference: perfectly-labelled sweep.
-	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-	ref, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act,
-		control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil }))
-	if err != nil {
-		return nil, err
-	}
-	for _, frac := range []float64{0, 0.1, 0.25, 0.4, 0.5} {
-		frac := frac
-		var prevPower float64
-		first := true
-		sen := control.SensorFunc(func() (float64, error) {
-			cur := sc.ReceivedPowerDBm()
-			if first {
-				first = false
-				prevPower = cur
-				return cur, nil
+func ablSubstrateSweep() *Sweep {
+	tands := []float64{0.0009, 0.004, 0.01, 0.02, 0.03}
+	return &Sweep{
+		ID:          "abl-substrate",
+		Description: "Ablation — substrate loss tangent vs peak efficiency and cost",
+		Title:       "Substrate sweep: loss tangent vs in-band efficiency and board cost",
+		Columns:     []string{"tanDelta", "effX_dB", "boardCost_USD"},
+		Points:      len(tands),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			tand := tands[i]
+			d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
+			d.Substrate = materials.Dielectric{
+				Name: "sweep", EpsilonR: 4.4, LossTangent: tand,
+				// Cost model: low-loss laminates price superlinearly.
+				CostPerM2PerLayer: 150 + 3000*math.Pow(0.02/math.Max(tand, 1e-4), 1.2)/22.2,
 			}
-			// A mislabelled sample mixes the previous state's power in
-			// proportion to the timing error.
-			curW := units.DBmToWatts(cur)
-			prevW := units.DBmToWatts(prevPower)
-			prevPower = cur
-			return units.WattsToDBm((1-frac)*curW + frac*prevW), nil
-		})
-		found, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
-		if err != nil {
-			return nil, err
-		}
-		// Evaluate the *true* power at the bias the confused controller
-		// chose.
-		surf.SetBias(found.BestVx, found.BestVy)
-		truth := sc.ReceivedPowerDBm()
-		res.AddRow(frac, truth, ref.BestPowerDBm-truth)
+			surf, err := metasurface.New(d)
+			if err != nil {
+				return PointResult{}, err
+			}
+			surf.SetBias(8, 8)
+			return Row(tand, surf.EfficiencyDB(metasurface.AxisX, units.DefaultCarrierHz), d.BillOfMaterials().PCB), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("efficiency degrades smoothly with tanδ while cost explodes toward low-loss laminates — the optimization target of §3.2")
+			return nil
+		},
 	}
-	res.AddNote("timing error past ≈25%% of the switch period starts costing real dB — why Eq. 13's labelling (and the 50 Hz/1 MHz rate coherence) matters")
-	return res, nil
 }
 
-// rfocusStyle models the cited amplitude-based baseline: each element
+func ablLayersSweep() *Sweep {
+	layerCounts := []int{1, 2, 3, 4}
+	return &Sweep{
+		ID:          "abl-layers",
+		Description: "Ablation — BFS layer count vs bandwidth (Eq. 12) vs insertion loss",
+		Title:       "BFS layer count: phase budget vs bandwidth vs loss",
+		Columns:     []string{"layers", "effX_dB", "bw5dB_MHz", "maxRot_deg"},
+		Points:      len(layerCounts),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			layers := layerCounts[i]
+			d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
+			d.BFSLayers = layers
+			d.LoadPitch = d.CalibrateLoadPitch(units.Radians(97), 0.9, 15)
+			surf, err := metasurface.New(d)
+			if err != nil {
+				return PointResult{}, err
+			}
+			surf.SetBias(8, 8)
+			eff := surf.EfficiencyDB(metasurface.AxisX, units.DefaultCarrierHz)
+			bw := surf.BandwidthAboveDB(-5, 2.0e9, 2.9e9, 5e6) / 1e6
+			surf.SetBias(2, 15)
+			rot := surf.RotationDegrees(units.DefaultCarrierHz)
+			return Row(float64(layers), eff, bw, rot), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("two layers hit the paper's balance: enough phase budget for ≈48° rotation at acceptable loss (Eq. 12 trade)")
+			return nil
+		},
+	}
+}
+
+// ablSweepSweep compares the bias-search strategies; each strategy is one
+// point running on its own surface and scene (the searches set bias
+// before every measurement, so the outcomes are state-independent).
+func ablSweepSweep() *Sweep {
+	return &Sweep{
+		ID:          "abl-sweep",
+		Description: "Ablation — Algorithm 1 vs full scan vs coordinate descent",
+		Title:       "Bias search strategies: optimality vs switch budget (50 Hz supply)",
+		Columns:     []string{"strategy", "best_dBm", "switches", "time_s"},
+		Points:      3,
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
+			}
+			sc := channel.DefaultScene(surf, 0.48)
+			act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+			sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+			var res control.Result
+			switch i {
+			case 0:
+				res, err = control.FullScan(ctx, control.DefaultSweepConfig(), 1, act, sen)
+			case 1:
+				res, err = control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
+			default:
+				res, err = control.CoordinateDescent(ctx, control.DefaultSweepConfig(), 2, act, sen)
+			}
+			if err != nil {
+				return PointResult{}, err
+			}
+			period := control.DefaultSweepConfig().SwitchPeriod
+			return Row(float64(i+1), res.BestPowerDBm, float64(res.Switches), res.Elapsed(period).Seconds()), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			full, ctf := res.Rows[0], res.Rows[1]
+			res.AddNote("strategy 1 = full scan (reference optimum), 2 = Algorithm 1 coarse-to-fine, 3 = golden-section coordinate descent")
+			res.AddNote("Algorithm 1 gives up %.1f dB vs the full scan while being %.0f× faster (paper: ~30 s → 1 s)",
+				full[1]-ctf[1], full[2]/ctf[2])
+			return nil
+		},
+	}
+}
+
+// ablSyncSweep asks how much optimum power the controller loses if the
+// Eq. 13 labelling is off by a fraction of the switch period: mislabelled
+// samples smear adjacent voltage states, flattening the measured
+// landscape. Each offset fraction is one point; the perfectly-labelled
+// reference sweep is recomputed per point (it is deterministic and cheap,
+// and recomputing keeps the point pure).
+func ablSyncSweep() *Sweep {
+	fracs := []float64{0, 0.1, 0.25, 0.4, 0.5}
+	return &Sweep{
+		ID:          "abl-sync",
+		Description: "Ablation — Eq. 13 synchronization sensitivity to clock offset",
+		Title:       "Synchronization error vs found-optimum quality",
+		Columns:     []string{"offset_fraction", "found_dBm", "penalty_dB"},
+		Points:      len(fracs),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
+			}
+			sc := channel.DefaultScene(surf, 0.48)
+			act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+			// Reference: perfectly-labelled sweep.
+			ref, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act,
+				control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil }))
+			if err != nil {
+				return PointResult{}, err
+			}
+			frac := fracs[i]
+			var prevPower float64
+			first := true
+			sen := control.SensorFunc(func() (float64, error) {
+				cur := sc.ReceivedPowerDBm()
+				if first {
+					first = false
+					prevPower = cur
+					return cur, nil
+				}
+				// A mislabelled sample mixes the previous state's power in
+				// proportion to the timing error.
+				curW := units.DBmToWatts(cur)
+				prevW := units.DBmToWatts(prevPower)
+				prevPower = cur
+				return units.WattsToDBm((1-frac)*curW + frac*prevW), nil
+			})
+			found, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen)
+			if err != nil {
+				return PointResult{}, err
+			}
+			// Evaluate the *true* power at the bias the confused controller
+			// chose.
+			surf.SetBias(found.BestVx, found.BestVy)
+			truth := sc.ReceivedPowerDBm()
+			return Row(frac, truth, ref.BestPowerDBm-truth), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("timing error past ≈25%% of the switch period starts costing real dB — why Eq. 13's labelling (and the 50 Hz/1 MHz rate coherence) matters")
+			return nil
+		},
+	}
+}
+
+// ablBaselineSweep models the cited amplitude-based baseline: each element
 // either passes or blocks the through signal (no polarization rotation),
 // so the best it can do on a mismatched link is maximize through power.
-func ablBaseline(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		ID:      "abl-baseline",
-		Title:   "Mismatched-link gain: LLAMA rotator vs on/off amplitude surface",
-		Columns: []string{"dist_cm", "rotator_gain_dB", "amplitude_gain_dB"},
-	}
-	for _, d := range []float64{0.24, 0.36, 0.48, 0.60} {
-		sc := channel.DefaultScene(surf, d)
-		base := channel.DefaultScene(nil, d)
-		basePower := base.ReceivedPowerDBm()
+func ablBaselineSweep() *Sweep {
+	dists := []float64{0.24, 0.36, 0.48, 0.60}
+	return &Sweep{
+		ID:          "abl-baseline",
+		Description: "Ablation — polarization rotator vs RFocus-style on/off amplitude surface",
+		Title:       "Mismatched-link gain: LLAMA rotator vs on/off amplitude surface",
+		Columns:     []string{"dist_cm", "rotator_gain_dB", "amplitude_gain_dB"},
+		Points:      len(dists),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
+			}
+			d := dists[i]
+			sc := channel.DefaultScene(surf, d)
+			base := channel.DefaultScene(nil, d)
+			basePower := base.ReceivedPowerDBm()
 
-		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
-		if err != nil {
-			return nil, err
-		}
-		rotGain := scan.BestPowerDBm - basePower
+			act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+			sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+			scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
+			if err != nil {
+				return PointResult{}, err
+			}
+			rotGain := scan.BestPowerDBm - basePower
 
-		// Amplitude surface: transparent ("on", identity with small
-		// insertion loss) or opaque ("off"). Neither state rotates
-		// polarization, so the mismatch loss survives intact; the best
-		// on-state gain is bounded by the insertion loss of a pane.
-		onState := jones.Cascade(jones.Rotator(0)).Scale(complex(units.DBToFieldRatio(-1.0), 0))
-		h := onState.MulVec(sc.Tx.State())
-		plf := jones.PLF(h, sc.Rx.State())
-		onPower := basePower // same path, polarization unchanged
-		_ = plf
-		ampGain := math.Max(onPower-basePower-1.0, -1.0) // −1 dB pane loss
-		res.AddRow(d*100, rotGain, ampGain)
+			// Amplitude surface: transparent ("on", identity with small
+			// insertion loss) or opaque ("off"). Neither state rotates
+			// polarization, so the mismatch loss survives intact; the best
+			// on-state gain is bounded by the insertion loss of a pane.
+			onState := jones.Cascade(jones.Rotator(0)).Scale(complex(units.DBToFieldRatio(-1.0), 0))
+			h := onState.MulVec(sc.Tx.State())
+			plf := jones.PLF(h, sc.Rx.State())
+			onPower := basePower // same path, polarization unchanged
+			_ = plf
+			ampGain := math.Max(onPower-basePower-1.0, -1.0) // −1 dB pane loss
+			return Row(d*100, rotGain, ampGain), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("an amplitude-only surface cannot touch the polarization term: the rotator's gain comes precisely from re-aligning it (§6's distinction from RFocus)")
+			return nil
+		},
 	}
-	res.AddNote("an amplitude-only surface cannot touch the polarization term: the rotator's gain comes precisely from re-aligning it (§6's distinction from RFocus)")
-	return res, nil
 }
 
-func ext900MHz(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.RFIDBandCenter))
-	if err != nil {
-		return nil, err
+func ext900MHzSweep() *Sweep {
+	freqs := axis(0.88e9, 0.95e9+1e5, 0.01e9)
+	design := metasurface.OptimizedFR4Design(units.RFIDBandCenter)
+	return &Sweep{
+		ID:          "ext-900mhz",
+		Description: "Extension — the §3.2 rescaled 900 MHz (RFID band) design",
+		Title:       "Rescaled 900 MHz design (§3.2): efficiency and rotation at the RFID band",
+		Columns:     []string{"freq_MHz", "effX_dB", "rotation_at_2_15_deg"},
+		Points:      len(freqs),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(design)
+			if err != nil {
+				return PointResult{}, err
+			}
+			f := freqs[i]
+			surf.SetBias(8, 8)
+			eff := surf.EfficiencyDB(metasurface.AxisX, f)
+			surf.SetBias(2, 15)
+			rot := surf.RotationDegrees(f)
+			return Row(f/1e6, eff, rot), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("comparable efficiency and rotation tunability after geometric scaling — the paper's 900 MHz claim")
+			return nil
+		},
 	}
-	res := &Result{
-		ID:      "ext-900mhz",
-		Title:   "Rescaled 900 MHz design (§3.2): efficiency and rotation at the RFID band",
-		Columns: []string{"freq_MHz", "effX_dB", "rotation_at_2_15_deg"},
-	}
-	for f := 0.88e9; f <= 0.95e9+1e5; f += 0.01e9 {
-		surf.SetBias(8, 8)
-		eff := surf.EfficiencyDB(metasurface.AxisX, f)
-		surf.SetBias(2, 15)
-		rot := surf.RotationDegrees(f)
-		res.AddRow(f/1e6, eff, rot)
-	}
-	res.AddNote("comparable efficiency and rotation tunability after geometric scaling — the paper's 900 MHz claim")
-	return res, nil
 }
 
-func extMultilink(ctx context.Context, seed int64) (*Result, error) {
-	// Two IoT receivers with different polarization mismatches share one
-	// surface: a single bias setting must compromise. Sweep for the
-	// best joint (sum-capacity) setting and report per-link outcomes.
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	scA := channel.DefaultScene(surf, 0.48)
-	scA.Rx.Orientation = 0 // Tx at 90° → full mismatch
-	scB := channel.DefaultScene(surf, 0.60)
-	scB.Rx.Orientation = math.Pi / 4 // Tx at 90° → partial mismatch
+// extMultilinkSweep: two IoT receivers with different polarization
+// mismatches share one surface, so a single bias setting must compromise.
+// The joint grid search couples every bias cell to the same running
+// maxima, so the experiment is a single sweep point.
+func extMultilinkSweep() *Sweep {
+	return &Sweep{
+		ID:          "ext-multilink",
+		Description: "Extension — §7 future work: two mismatched links sharing one surface",
+		Title:       "Two links, one surface: per-link optima vs the joint compromise",
+		Columns:     []string{"policy", "Vx_V", "Vy_V", "seA", "seB", "sum"},
+		Points:      1,
+		Point: func(ctx context.Context, seed int64, _ int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
+			}
+			scA := channel.DefaultScene(surf, 0.48)
+			scA.Rx.Orientation = 0 // Tx at 90° → full mismatch
+			scB := channel.DefaultScene(surf, 0.60)
+			scB.Rx.Orientation = math.Pi / 4 // Tx at 90° → partial mismatch
 
-	baseA := channel.DefaultScene(nil, 0.48)
-	baseA.Rx.Orientation = 0
-	baseB := channel.DefaultScene(nil, 0.60)
-	baseB.Rx.Orientation = math.Pi / 4
+			baseA := channel.DefaultScene(nil, 0.48)
+			baseA.Rx.Orientation = 0
+			baseB := channel.DefaultScene(nil, 0.60)
+			baseB.Rx.Orientation = math.Pi / 4
 
-	type point struct{ vx, vy, seA, seB float64 }
-	var bestJoint, bestA, bestB point
-	for vx := 0.0; vx <= 30; vx += 1.5 {
-		for vy := 0.0; vy <= 30; vy += 1.5 {
-			surf.SetBias(vx, vy)
-			p := point{vx: vx, vy: vy, seA: scA.SpectralEfficiency(), seB: scB.SpectralEfficiency()}
-			if p.seA+p.seB > bestJoint.seA+bestJoint.seB {
-				bestJoint = p
+			type point struct{ vx, vy, seA, seB float64 }
+			var bestJoint, bestA, bestB point
+			for vx := 0.0; vx <= 30; vx += 1.5 {
+				for vy := 0.0; vy <= 30; vy += 1.5 {
+					surf.SetBias(vx, vy)
+					p := point{vx: vx, vy: vy, seA: scA.SpectralEfficiency(), seB: scB.SpectralEfficiency()}
+					if p.seA+p.seB > bestJoint.seA+bestJoint.seB {
+						bestJoint = p
+					}
+					if p.seA > bestA.seA {
+						bestA = p
+					}
+					if p.seB > bestB.seB {
+						bestB = p
+					}
+				}
 			}
-			if p.seA > bestA.seA {
-				bestA = p
-			}
-			if p.seB > bestB.seB {
-				bestB = p
-			}
-		}
+			pt := PointResult{Rows: [][]float64{
+				{1, bestA.vx, bestA.vy, bestA.seA, bestA.seB, bestA.seA + bestA.seB},
+				{2, bestB.vx, bestB.vy, bestB.seA, bestB.seB, bestB.seA + bestB.seB},
+				{3, bestJoint.vx, bestJoint.vy, bestJoint.seA, bestJoint.seB, bestJoint.seA + bestJoint.seB},
+				{4, math.NaN(), math.NaN(), baseA.SpectralEfficiency(), baseB.SpectralEfficiency(),
+					baseA.SpectralEfficiency() + baseB.SpectralEfficiency()},
+			}}
+			pt.AddNote("policy 1/2 = selfish per-link optimum, 3 = joint sum-capacity, 4 = no surface; the joint setting beats no-surface for both links (the §7 polarization-reuse direction)")
+			return pt, nil
+		},
 	}
-	res := &Result{
-		ID:      "ext-multilink",
-		Title:   "Two links, one surface: per-link optima vs the joint compromise",
-		Columns: []string{"policy", "Vx_V", "Vy_V", "seA", "seB", "sum"},
-	}
-	res.AddRow(1, bestA.vx, bestA.vy, bestA.seA, bestA.seB, bestA.seA+bestA.seB)
-	res.AddRow(2, bestB.vx, bestB.vy, bestB.seA, bestB.seB, bestB.seA+bestB.seB)
-	res.AddRow(3, bestJoint.vx, bestJoint.vy, bestJoint.seA, bestJoint.seB, bestJoint.seA+bestJoint.seB)
-	res.AddRow(4, math.NaN(), math.NaN(), baseA.SpectralEfficiency(), baseB.SpectralEfficiency(),
-		baseA.SpectralEfficiency()+baseB.SpectralEfficiency())
-	res.AddNote("policy 1/2 = selfish per-link optimum, 3 = joint sum-capacity, 4 = no surface; the joint setting beats no-surface for both links (the §7 polarization-reuse direction)")
-	return res, nil
 }

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// optimizedFR4 is the paper's calibrated low-cost design, computed once
+// at package init. Design is an immutable value, so sweep points may
+// share it read-only and build their own (bias-mutable) Surface from it;
+// the calibration bisection is deterministic, so hoisting it preserves
+// bit-identical experiment output.
+var optimizedFR4 = metasurface.OptimizedFR4Design(units.DefaultCarrierHz)

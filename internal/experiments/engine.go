@@ -19,6 +19,13 @@ import (
 // assigns every (experiment, seed) cell a fixed slot before any worker
 // starts and aggregates in slot order, which makes its output bit-identical
 // to the serial RunAll path for any worker count.
+//
+// With ShardRows set, experiments declared as Sweeps are split further:
+// every sweep point becomes its own job, interleaved with whole-experiment
+// jobs in the same queue, so a single long experiment saturates the pool
+// instead of bounding wall-clock. Point outputs are collected into
+// per-point slots and reassembled in axis order, so sharded output is
+// still bit-identical to the serial path.
 type Engine struct {
 	// Concurrency bounds the worker pool. Zero or negative means
 	// runtime.GOMAXPROCS(0).
@@ -28,13 +35,28 @@ type Engine struct {
 	// order regardless of the order given here, matching the serial
 	// RunAll path.
 	IDs []string
+	// ShardRows splits sweep-shaped experiments into per-point row jobs.
+	// Experiments registered as plain Runners still run whole.
+	ShardRows bool
 }
 
-// Timing records one experiment's wall-clock cost, summed across seeds
-// when the run is replicated.
+// Timing records one experiment's cost, summed across seeds when the run
+// is replicated.
 type Timing struct {
-	ID      string
+	// ID is the experiment.
+	ID string
+	// Elapsed is the wall-clock span the experiment occupied: from its
+	// first job starting to its last job finishing (summed across seeds).
 	Elapsed time.Duration
+	// Busy is the total compute time across the experiment's jobs. For an
+	// unsharded experiment Busy == Elapsed; for a sharded sweep
+	// Busy/Elapsed is the shard speedup the fan-out achieved.
+	Busy time.Duration
+	// Rows is the assembled table's row count (per seed).
+	Rows int
+	// Points is the number of jobs the experiment contributed per seed:
+	// 1 for a whole-experiment job, the axis length for a sharded sweep.
+	Points int
 }
 
 // Report summarises an Engine run: the per-seed results in ID order,
@@ -55,13 +77,25 @@ type Report struct {
 	// Replicated aggregates each experiment across all seeds; nil when
 	// the run used a single seed.
 	Replicated []*ReplicatedResult
+	// ShardRows records whether sweep points ran as individual jobs.
+	ShardRows bool
+	// Salvaged carries the partial tables of sweeps that failed mid-shard:
+	// the contiguous prefix of completed points, in cell order, so a late
+	// point failure does not discard every finished row.
+	Salvaged []*Result
 }
 
-// Render writes the timing summary as an aligned text table.
+// Render writes the timing summary as an aligned text table. Sharded
+// sweeps additionally report their job count and the busy/wall shard
+// speedup the fan-out achieved.
 func (rep *Report) Render(w io.Writer) error {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "== engine: %d experiments × %d seed(s), %d worker(s), wall %v\n",
-		len(rep.Timings), len(rep.Seeds), rep.Concurrency, rep.Wall.Round(time.Microsecond))
+	mode := ""
+	if rep.ShardRows {
+		mode = ", row-sharded"
+	}
+	fmt.Fprintf(&sb, "== engine: %d experiments × %d seed(s), %d worker(s), wall %v%s\n",
+		len(rep.Timings), len(rep.Seeds), rep.Concurrency, rep.Wall.Round(time.Microsecond), mode)
 	width := 0
 	for _, t := range rep.Timings {
 		if len(t.ID) > width {
@@ -69,7 +103,16 @@ func (rep *Report) Render(w io.Writer) error {
 		}
 	}
 	for _, t := range rep.Timings {
-		fmt.Fprintf(&sb, "%-*s  %v\n", width, t.ID, t.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(&sb, "%-*s  %12v  %4d rows", width, t.ID, t.Elapsed.Round(time.Microsecond), t.Rows)
+		if t.Points > 1 {
+			speedup := 1.0
+			if t.Elapsed > 0 {
+				speedup = float64(t.Busy) / float64(t.Elapsed)
+			}
+			fmt.Fprintf(&sb, "  %4d shards  busy %v (%.1f×)",
+				t.Points, t.Busy.Round(time.Microsecond), speedup)
+		}
+		sb.WriteByte('\n')
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -146,13 +189,17 @@ type Options struct {
 	Seeds []int64
 	// Concurrency bounds the worker pool; ≤0 means GOMAXPROCS.
 	Concurrency int
+	// ShardRows splits each sweep-shaped experiment's rows across the
+	// pool, so even a single experiment saturates the workers. Output is
+	// bit-identical either way.
+	ShardRows bool
 }
 
 // Execute runs opts through an Engine and returns the combined report.
 // On failure the report carries whatever completed, and the error names
-// the experiment (and seed) that failed.
+// the experiment, seed and (for sharded sweeps) point that failed.
 func Execute(ctx context.Context, opts Options) (*Report, error) {
-	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs}
+	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs, ShardRows: opts.ShardRows}
 	seeds := opts.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -235,46 +282,209 @@ func (e *Engine) workers(n int) int {
 	return w
 }
 
-// run is the engine core: one bounded pool over the (experiment × seed)
-// job matrix, slot-indexed collection, then deterministic aggregation.
+// cellRun is the per-(experiment, seed) collection state of one engine
+// run. Workers write only into their job's own slot (points[p],
+// elapsed[p], errs[p]), so the cell needs no locking; everything else is
+// touched single-threaded during assembly.
+type cellRun struct {
+	id   string
+	seed int64
+	// sweep is non-nil when the cell runs as per-point row jobs.
+	sweep *Sweep
+	// Per-job slots: one entry for a whole-experiment cell, Points
+	// entries for a sharded sweep.
+	points  []PointResult
+	done    []bool
+	errs    []error
+	started []time.Time
+	elapsed []time.Duration
+	// res is the assembled table (nil when the cell failed or was
+	// cancelled); partial is the salvaged prefix of a failed sweep.
+	res     *Result
+	partial *Result
+	err     error
+}
+
+// jobs returns the number of job slots the cell contributes to the queue.
+func (c *cellRun) jobs() int { return len(c.points) }
+
+// busy sums the compute time of the cell's executed jobs.
+func (c *cellRun) busy() time.Duration {
+	var total time.Duration
+	for _, d := range c.elapsed {
+		total += d
+	}
+	return total
+}
+
+// span returns the wall-clock interval the cell occupied: first job start
+// to last job end. Zero when nothing ran.
+func (c *cellRun) span() time.Duration {
+	var first, last time.Time
+	for p := range c.started {
+		if c.started[p].IsZero() {
+			continue
+		}
+		end := c.started[p].Add(c.elapsed[p])
+		if first.IsZero() || c.started[p].Before(first) {
+			first = c.started[p]
+		}
+		if end.After(last) {
+			last = end
+		}
+	}
+	if first.IsZero() {
+		return 0
+	}
+	return last.Sub(first)
+}
+
+// assemble folds the cell's job slots into its final table. For sweep
+// cells it reassembles points in axis order — bit-identical to the serial
+// path — and on a point failure salvages the contiguous completed prefix
+// and names the failing point. Runs single-threaded after the pool
+// drains.
+func (c *cellRun) assemble() {
+	if c.sweep == nil {
+		// Whole-experiment cell: the worker already stored res/err.
+		return
+	}
+	s := c.sweep
+	// Lowest incomplete slot bounds the salvageable prefix. The failure
+	// is named by the lowest point with a real (non-cancellation) error —
+	// fail-fast cancellation lands context.Canceled in whatever points
+	// were in flight, and those must not mask the point that actually
+	// broke; a cancellation error is reported only when no real one
+	// exists.
+	prefix := s.Points
+	for p := 0; p < s.Points; p++ {
+		if !c.done[p] {
+			prefix = p
+			break
+		}
+	}
+	fail := -1
+	for p := 0; p < s.Points; p++ {
+		if c.errs[p] == nil {
+			continue
+		}
+		if fail == -1 {
+			fail = p
+		}
+		if !errors.Is(c.errs[p], context.Canceled) {
+			fail = p
+			break
+		}
+	}
+	if fail >= 0 {
+		c.err = fmt.Errorf("experiments: %s (seed %d): %w",
+			c.id, c.seed, &PointError{Point: fail, Points: s.Points, Err: c.errs[fail]})
+	}
+	res := s.newResult()
+	for p := 0; p < prefix; p++ {
+		s.appendPoint(res, c.points[p])
+	}
+	if prefix < s.Points {
+		// Incomplete: keep the prefix as salvage, but never run Finish on
+		// a truncated table — its summary would describe rows that do not
+		// exist.
+		c.partial = res
+		return
+	}
+	if err := s.finish(res, c.seed); err != nil {
+		c.err = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
+		c.partial = res
+		return
+	}
+	c.res = res
+}
+
+// run is the engine core: one bounded pool over the job queue — a slot
+// per (experiment, seed) cell, expanded to a slot per sweep point when
+// row sharding is on — then slot-ordered assembly and deterministic
+// aggregation.
 func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 	ids, err := e.selected()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	nJobs := len(ids) * len(seeds)
-	grid := make([]*Result, nJobs) // grid[idIdx*len(seeds)+seedIdx]
-	elapsed := make([]time.Duration, nJobs)
-	jobErrs := make([]error, nJobs)
-	workers := e.workers(nJobs)
+
+	// Lay out every cell and its job slots before any worker starts: the
+	// fixed layout is what makes collection order-independent.
+	cells := make([]cellRun, 0, len(ids)*len(seeds))
+	type job struct{ cell, point int }
+	var queue []job
+	for _, id := range ids {
+		for _, seed := range seeds {
+			c := cellRun{id: id, seed: seed}
+			if e.ShardRows {
+				c.sweep = sweeps[id]
+			}
+			slots := 1
+			if c.sweep != nil {
+				slots = c.sweep.Points
+			}
+			c.points = make([]PointResult, slots)
+			c.done = make([]bool, slots)
+			c.errs = make([]error, slots)
+			c.started = make([]time.Time, slots)
+			c.elapsed = make([]time.Duration, slots)
+			ci := len(cells)
+			cells = append(cells, c)
+			if c.sweep != nil {
+				for p := 0; p < c.sweep.Points; p++ {
+					queue = append(queue, job{cell: ci, point: p})
+				}
+			} else {
+				queue = append(queue, job{cell: ci, point: 0})
+			}
+		}
+	}
+	workers := e.workers(len(queue))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	jobs := make(chan int)
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				id, seed := ids[j/len(seeds)], seeds[j%len(seeds)]
-				t0 := time.Now()
-				res, err := Run(runCtx, id, seed)
-				elapsed[j] = time.Since(t0)
-				if err != nil {
-					jobErrs[j] = fmt.Errorf("experiments: %s (seed %d): %w", id, seed, err)
-					cancel() // fail fast: stop feeding new jobs
+			for jb := range jobs {
+				c := &cells[jb.cell]
+				c.started[jb.point] = time.Now()
+				if c.sweep == nil {
+					res, err := Run(runCtx, c.id, c.seed)
+					c.elapsed[jb.point] = time.Since(c.started[jb.point])
+					if err != nil {
+						c.errs[jb.point] = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
+						if res != nil && len(res.Rows) > 0 {
+							c.partial = res // a sweep's serial runner salvages its prefix
+						}
+						cancel() // fail fast: stop feeding new jobs
+						continue
+					}
+					c.res = res
+					c.done[jb.point] = true
 					continue
 				}
-				grid[j] = res
+				pt, err := c.sweep.Point(runCtx, c.seed, jb.point)
+				c.elapsed[jb.point] = time.Since(c.started[jb.point])
+				if err != nil {
+					c.errs[jb.point] = err
+					cancel()
+					continue
+				}
+				c.points[jb.point] = pt
+				c.done[jb.point] = true
 			}
 		}()
 	}
 feed:
-	for j := 0; j < nJobs; j++ {
+	for _, jb := range queue {
 		select {
-		case jobs <- j:
+		case jobs <- jb:
 		case <-runCtx.Done():
 			break feed
 		}
@@ -286,46 +496,65 @@ feed:
 		Seeds:       append([]int64(nil), seeds...),
 		Concurrency: workers,
 		Wall:        time.Since(start),
+		ShardRows:   e.ShardRows,
 	}
-	// Error policy, in deterministic order: the caller's cancellation
-	// wins, then the first real (non-cancellation) job failure by slot
-	// index, then any remaining job error. Assembly still runs below so
-	// the report salvages every completed cell either way.
+	// Assemble every cell in slot order (sweep reassembly, salvage,
+	// per-cell errors), then resolve the error policy deterministically:
+	// the caller's cancellation wins, then the first real
+	// (non-cancellation) cell failure by slot index, then any remaining
+	// cell error.
+	for ci := range cells {
+		cells[ci].assemble()
+	}
 	firstErr := ctx.Err()
 	if firstErr == nil {
-		for _, jerr := range jobErrs {
-			if jerr == nil {
+		for ci := range cells {
+			cerr := cells[ci].err
+			if cerr == nil && len(cells[ci].errs) > 0 {
+				// A whole-experiment worker error lands in errs[0].
+				cerr = cells[ci].errs[0]
+			}
+			if cerr == nil {
 				continue
 			}
 			if firstErr == nil {
-				firstErr = jerr
+				firstErr = cerr
 			}
-			if !errors.Is(jerr, context.Canceled) {
-				firstErr = jerr
+			if !errors.Is(cerr, context.Canceled) {
+				firstErr = cerr
 				break
 			}
 		}
 	}
 
-	// Assemble in slot order; on failure keep completed prefix cells so
-	// callers can salvage partial output.
+	// Report assembly in slot order; on failure keep completed cells (and
+	// salvaged sweep prefixes) so callers can recover partial output.
 	for i, id := range ids {
 		var perSeed []*Result
-		total := time.Duration(0)
+		var wall, busy time.Duration
+		points := 1
 		for s := range seeds {
-			j := i*len(seeds) + s
-			total += elapsed[j]
-			if grid[j] != nil {
-				perSeed = append(perSeed, grid[j])
+			c := &cells[i*len(seeds)+s]
+			wall += c.span()
+			busy += c.busy()
+			points = c.jobs()
+			if c.res != nil {
+				perSeed = append(perSeed, c.res)
+			}
+			if c.partial != nil && len(c.partial.Rows) > 0 {
+				rep.Salvaged = append(rep.Salvaged, c.partial)
 			}
 		}
 		if len(perSeed) < len(seeds) {
 			continue // incomplete cell row: excluded from the report
 		}
-		rep.Timings = append(rep.Timings, Timing{ID: id, Elapsed: total})
+		rep.Timings = append(rep.Timings, Timing{
+			ID: id, Elapsed: wall, Busy: busy,
+			Rows: len(perSeed[0].Rows), Points: points,
+		})
 		rep.Results = append(rep.Results, perSeed[0])
 		if len(seeds) > 1 {
-			agg, err := replicate(id, seeds, perSeed, total)
+			agg, err := replicate(id, seeds, perSeed, wall)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err

@@ -3,6 +3,14 @@
 // DESIGN.md. Each experiment is a pure function of a seed, producing a
 // numeric Result that cmd/llama-bench renders as text and bench_test.go
 // exercises as a benchmark.
+//
+// Experiments are declared as Sweeps: an axis of points plus a per-point
+// function pure in (seed, point). The serial path (Run/RunAll) walks the
+// axis in order; the concurrent Engine fans whole experiments — and, with
+// ShardRows, individual sweep points — across one bounded worker pool,
+// collecting into pre-assigned slots so output is bit-identical to the
+// serial path for any worker count. See ARCHITECTURE.md at the repository
+// root for the layer diagram and the determinism invariants.
 package experiments
 
 import (

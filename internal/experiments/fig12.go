@@ -10,13 +10,23 @@ import (
 )
 
 func init() {
-	register("fig12", "Fig. 12 — polarization rotation angle estimation procedure (§3.4)", fig12)
+	// The §3.4 estimation procedure is one sequential measurement
+	// protocol (its turntable steps depend on earlier observations), so
+	// the whole figure is a single sweep point.
+	registerSweep(&Sweep{
+		ID:          "fig12",
+		Description: "Fig. 12 — polarization rotation angle estimation procedure (§3.4)",
+		Title:       "Fig. 12 — rotation estimation: matched orientation, min/max bias states, rotation range",
+		Columns:     []string{"theta0_deg", "thetaMin_deg", "thetaMax_deg", "minRotation_deg", "maxRotation_deg", "switches"},
+		Points:      1,
+		Point:       fig12Point,
+	})
 }
 
-func fig12(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+func fig12Point(ctx context.Context, seed int64, _ int) (PointResult, error) {
+	surf, err := metasurface.New(optimizedFR4)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	// Fig. 12's matched-setup bench: Tx aligned with Rx, 48 cm apart.
 	sc := channel.DefaultScene(surf, 0.48)
@@ -30,14 +40,9 @@ func fig12(ctx context.Context, seed int64) (*Result, error) {
 	cfg.AngleStepDeg = 1
 	est, err := control.EstimateRotation(ctx, cfg, measure)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	res := &Result{
-		ID:      "fig12",
-		Title:   "Fig. 12 — rotation estimation: matched orientation, min/max bias states, rotation range",
-		Columns: []string{"theta0_deg", "thetaMin_deg", "thetaMax_deg", "minRotation_deg", "maxRotation_deg", "switches"},
-	}
-	res.AddRow(
+	pt := Row(
 		units.Degrees(est.Theta0),
 		units.Degrees(est.ThetaMin),
 		units.Degrees(est.ThetaMax),
@@ -45,7 +50,7 @@ func fig12(ctx context.Context, seed int64) (*Result, error) {
 		est.MaxRotationDeg,
 		float64(est.Switches),
 	)
-	res.AddNote("estimated rotation range %.1f°–%.1f° (paper Fig. 12d: ≈4.8°–45.1°)",
+	pt.AddNote("estimated rotation range %.1f°–%.1f° (paper Fig. 12d: ≈4.8°–45.1°)",
 		est.MinRotationDeg, est.MaxRotationDeg)
 	// Also render the Fig. 12(a) Malus curve: Rx power vs orientation
 	// difference without the surface.
@@ -53,7 +58,7 @@ func fig12(ctx context.Context, seed int64) (*Result, error) {
 	bare.Tx.Orientation = 0
 	for deg := 0.0; deg <= 180; deg += 15 {
 		bare.Rx.Orientation = units.Radians(deg)
-		res.AddNote("no-surface power at %3.0f°: %.1f dBm", deg, bare.ReceivedPowerDBm())
+		pt.AddNote("no-surface power at %3.0f°: %.1f dBm", deg, bare.ReceivedPowerDBm())
 	}
-	return res, nil
+	return pt, nil
 }

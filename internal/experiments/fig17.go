@@ -6,42 +6,38 @@ import (
 	"github.com/llama-surface/llama/internal/channel"
 	"github.com/llama-surface/llama/internal/control"
 	"github.com/llama-surface/llama/internal/metasurface"
-	"github.com/llama-surface/llama/internal/units"
 )
 
 func init() {
-	register("fig17", "Fig. 17 — power improvement vs operating frequency across the ISM band", fig17)
-}
-
-func fig17(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		ID:      "fig17",
-		Title:   "Fig. 17 — with/without metasurface across 2.40–2.50 GHz (mismatched)",
-		Columns: []string{"freq_GHz", "with_dBm", "without_dBm", "gain_dB"},
-	}
-	minGain := 1e9
-	for f := 2.40e9; f <= 2.50e9+1e6; f += 0.01e9 {
-		sc := channel.DefaultScene(surf, 0.48)
-		sc.FreqHz = f
-		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 2, act, sen)
-		if err != nil {
-			return nil, err
-		}
-		base := channel.DefaultScene(nil, 0.48)
-		base.FreqHz = f
-		gain := scan.BestPowerDBm - base.ReceivedPowerDBm()
-		if gain < minGain {
-			minGain = gain
-		}
-		res.AddRow(f/1e9, scan.BestPowerDBm, base.ReceivedPowerDBm(), gain)
-	}
-	res.AddNote("minimum gain across the band %.1f dB (paper: > 10 dB everywhere)", minGain)
-	_ = units.ISMBandHigh
-	return res, nil
+	freqs := axis(2.40e9, 2.50e9+1e6, 0.01e9)
+	registerSweep(&Sweep{
+		ID:          "fig17",
+		Description: "Fig. 17 — power improvement vs operating frequency across the ISM band",
+		Title:       "Fig. 17 — with/without metasurface across 2.40–2.50 GHz (mismatched)",
+		Columns:     []string{"freq_GHz", "with_dBm", "without_dBm", "gain_dB"},
+		Points:      len(freqs),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
+			}
+			f := freqs[i]
+			sc := channel.DefaultScene(surf, 0.48)
+			sc.FreqHz = f
+			act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+			sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+			scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 2, act, sen)
+			if err != nil {
+				return PointResult{}, err
+			}
+			base := channel.DefaultScene(nil, 0.48)
+			base.FreqHz = f
+			return Row(f/1e9, scan.BestPowerDBm, base.ReceivedPowerDBm(),
+				scan.BestPowerDBm-base.ReceivedPowerDBm()), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("minimum gain across the band %.1f dB (paper: > 10 dB everywhere)", minIn(res.Column(3)))
+			return nil
+		},
+	})
 }

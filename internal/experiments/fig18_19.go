@@ -10,117 +10,126 @@ import (
 	"github.com/llama-surface/llama/internal/control"
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/simclock"
-	"github.com/llama-surface/llama/internal/units"
 )
-
-func init() {
-	register("fig18", "Fig. 18 — capacity vs transmit power in the absorber environment (omni + directional)", fig18)
-	register("fig19", "Fig. 19 — capacity vs transmit power under rich multipath; omni crossover near 2 mW", fig19)
-}
 
 // Fig18Powers is the paper's transmit-power sweep: 0.002 mW to 1 W.
 var Fig18Powers = []float64{2e-6, 2e-5, 2e-4, 2e-3, 2e-2, 0.2, 1.0}
 
-// capacityVsPower runs the Figs. 18/19 workload for one antenna type and
-// environment. When noisyControl is true the bias search observes RSSI
-// with full receiver noise (the controller can mis-tune at low SNR —
-// the mechanism behind Fig. 19(a)'s crossover).
-func capacityVsPower(ctx context.Context, id, title string, ant antenna.Model, env channel.Environment, noisyControl bool, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		ID:      id,
-		Title:   title,
-		Columns: []string{"txPower_mW", "se_with", "se_without", "delta"},
-	}
-	rng := simclock.RNG(seed, id)
-	for _, pw := range Fig18Powers {
-		sc := channel.DefaultScene(surf, 0.48)
-		sc.TxPowerW = pw
-		sc.Tx.Antenna = ant
-		sc.Rx.Antenna = ant
-		sc.Env = env
-		base := channel.DefaultScene(nil, 0.48)
-		base.TxPowerW = pw
-		base.Tx.Antenna = ant
-		base.Rx.Antenna = ant
-		base.Env = env
-
-		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-		sen := control.SensorFunc(func() (float64, error) {
-			p := sc.ReceivedPowerDBm()
-			if noisyControl {
-				// The sweep's per-step RSSI estimate carries noise whose
-				// dB spread grows as the signal sinks toward the
-				// interference floor. The constant is calibrated so the
-				// controller stops finding the true optimum around the
-				// paper's 2 mW omni crossover (Fig. 19a).
-				snr := sc.SNR()
-				sigma := 70 / math.Sqrt(1+snr)
-				p += sigma * rng.NormFloat64()
+func init() {
+	registerSweep(&Sweep{
+		ID:          "fig18",
+		Description: "Fig. 18 — capacity vs transmit power in the absorber environment (omni + directional)",
+		Title:       "Fig. 18 — spectral efficiency (bit/s/Hz) vs TX power, absorber environment",
+		Columns:     []string{"txPower_mW", "omni_with", "omni_without", "dir_with", "dir_without"},
+		Points:      len(Fig18Powers),
+		Point:       fig18Point,
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("surface helps at every power; gap narrows toward the estimator's saturation ceiling (paper's curves converge near 0.55)")
+			return nil
+		},
+	})
+	registerSweep(&Sweep{
+		ID:          "fig19",
+		Description: "Fig. 19 — capacity vs transmit power under rich multipath; omni crossover near 2 mW",
+		Title:       "Fig. 19 — spectral efficiency vs TX power, rich multipath (laboratory)",
+		Columns:     []string{"txPower_mW", "omni_with", "omni_without", "dir_with", "dir_without"},
+		Points:      len(Fig18Powers),
+		Point:       fig19Point,
+		Finish: func(res *Result, seed int64) error {
+			crossover := math.NaN()
+			for _, row := range res.Rows {
+				if math.IsNaN(crossover) && row[1] > row[2] {
+					crossover = row[0]
+				}
 			}
-			return p, nil
-		})
-		if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
-			return nil, err
+			if math.IsNaN(crossover) {
+				res.AddNote("omni: surface never overtakes the baseline in this draw")
+			} else {
+				res.AddNote("omni: surface overtakes baseline from %s mW (paper: 2 mW)", fmt.Sprintf("≈%.3g", crossover))
+			}
+			res.AddNote("directional: surface helps across the sweep (pattern suppresses multipath, Fig. 19b)")
+			return nil
+		},
+	})
+}
+
+// capacityAtPower runs the Figs. 18/19 workload for one antenna type,
+// environment and transmit power, returning the spectral efficiency with
+// and without the surface. When noiseKey is non-empty the bias search
+// observes RSSI with full receiver noise drawn from an RNG folded from
+// (seed, noiseKey) — keying the noise stream per point is what keeps the
+// per-point function pure so the power axis can shard. The controller can
+// mis-tune at low SNR, which is the mechanism behind Fig. 19(a)'s
+// crossover.
+func capacityAtPower(ctx context.Context, ant antenna.Model, env channel.Environment,
+	pw float64, seed int64, noiseKey string) (seWith, seWithout float64, err error) {
+	surf, err := metasurface.New(optimizedFR4)
+	if err != nil {
+		return 0, 0, err
+	}
+	sc := channel.DefaultScene(surf, 0.48)
+	sc.TxPowerW = pw
+	sc.Tx.Antenna = ant
+	sc.Rx.Antenna = ant
+	sc.Env = env
+	base := channel.DefaultScene(nil, 0.48)
+	base.TxPowerW = pw
+	base.Tx.Antenna = ant
+	base.Rx.Antenna = ant
+	base.Env = env
+
+	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+	var rng = simclock.RNG(seed, noiseKey)
+	sen := control.SensorFunc(func() (float64, error) {
+		p := sc.ReceivedPowerDBm()
+		if noiseKey != "" {
+			// The sweep's per-step RSSI estimate carries noise whose
+			// dB spread grows as the signal sinks toward the
+			// interference floor. The constant is calibrated so the
+			// controller stops finding the true optimum around the
+			// paper's 2 mW omni crossover (Fig. 19a).
+			snr := sc.SNR()
+			sigma := 70 / math.Sqrt(1+snr)
+			p += sigma * rng.NormFloat64()
 		}
-		seWith := sc.SpectralEfficiency()
-		seWithout := base.SpectralEfficiency()
-		res.AddRow(pw*1e3, seWith, seWithout, seWith-seWithout)
+		return p, nil
+	})
+	if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
+		return 0, 0, err
 	}
-	return res, nil
+	return sc.SpectralEfficiency(), base.SpectralEfficiency(), nil
 }
 
-func fig18(ctx context.Context, seed int64) (*Result, error) {
-	omni, err := capacityVsPower(ctx, "fig18", "", antenna.OmniWiFi, channel.Absorber(), false, seed)
+// fig18Point computes one power step of Fig. 18: noiseless control, so
+// omni and directional legs are pure in (seed, point).
+func fig18Point(ctx context.Context, seed int64, i int) (PointResult, error) {
+	pw := Fig18Powers[i]
+	omniW, omniWo, err := capacityAtPower(ctx, antenna.OmniWiFi, channel.Absorber(), pw, seed, "")
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	dir, err := capacityVsPower(ctx, "fig18", "", antenna.DirectionalPatch, channel.Absorber(), false, seed+1)
+	dirW, dirWo, err := capacityAtPower(ctx, antenna.DirectionalPatch, channel.Absorber(), pw, seed+1, "")
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	res := &Result{
-		ID:      "fig18",
-		Title:   "Fig. 18 — spectral efficiency (bit/s/Hz) vs TX power, absorber environment",
-		Columns: []string{"txPower_mW", "omni_with", "omni_without", "dir_with", "dir_without"},
-	}
-	for i := range omni.Rows {
-		res.AddRow(omni.Rows[i][0], omni.Rows[i][1], omni.Rows[i][2], dir.Rows[i][1], dir.Rows[i][2])
-	}
-	res.AddNote("surface helps at every power; gap narrows toward the estimator's saturation ceiling (paper's curves converge near 0.55)")
-	return res, nil
+	return Row(pw*1e3, omniW, omniWo, dirW, dirWo), nil
 }
 
-func fig19(ctx context.Context, seed int64) (*Result, error) {
+// fig19Point computes one power step of Fig. 19 under rich multipath with
+// noisy control. The noise RNG is keyed by (branch, point) so each power
+// step draws an independent, reproducible stream.
+func fig19Point(ctx context.Context, seed int64, i int) (PointResult, error) {
+	pw := Fig18Powers[i]
 	env := channel.Laboratory(seed+101, 12)
-	omni, err := capacityVsPower(ctx, "fig19", "", antenna.OmniWiFi, env, true, seed)
+	omniW, omniWo, err := capacityAtPower(ctx, antenna.OmniWiFi, env, pw, seed,
+		fmt.Sprintf("fig19/omni/%d", i))
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	dir, err := capacityVsPower(ctx, "fig19", "", antenna.DirectionalPatch, env, true, seed+1)
+	dirW, dirWo, err := capacityAtPower(ctx, antenna.DirectionalPatch, env, pw, seed+1,
+		fmt.Sprintf("fig19/dir/%d", i))
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	res := &Result{
-		ID:      "fig19",
-		Title:   "Fig. 19 — spectral efficiency vs TX power, rich multipath (laboratory)",
-		Columns: []string{"txPower_mW", "omni_with", "omni_without", "dir_with", "dir_without"},
-	}
-	crossover := math.NaN()
-	for i := range omni.Rows {
-		res.AddRow(omni.Rows[i][0], omni.Rows[i][1], omni.Rows[i][2], dir.Rows[i][1], dir.Rows[i][2])
-		if math.IsNaN(crossover) && omni.Rows[i][1] > omni.Rows[i][2] {
-			crossover = omni.Rows[i][0]
-		}
-	}
-	if math.IsNaN(crossover) {
-		res.AddNote("omni: surface never overtakes the baseline in this draw")
-	} else {
-		res.AddNote("omni: surface overtakes baseline from %s mW (paper: 2 mW)", fmt.Sprintf("≈%.3g", crossover))
-	}
-	res.AddNote("directional: surface helps across the sweep (pattern suppresses multipath, Fig. 19b)")
-	return res, nil
+	return Row(pw*1e3, omniW, omniWo, dirW, dirWo), nil
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-
 	"math"
 
 	"github.com/llama-surface/llama/internal/channel"
@@ -12,51 +11,61 @@ import (
 )
 
 func init() {
-	register("fig2a", "Wi-Fi RSSI PDFs, matched vs mismatched antenna orientation (AP ↔ ESP8266)", fig2a)
-	register("fig2b", "BLE RSSI PDFs, matched vs mismatched (MetaMotionR ↔ Raspberry Pi 3)", fig2b)
+	registerSweep(rssiPDFSweep("fig2a",
+		"Wi-Fi RSSI PDFs, matched vs mismatched antenna orientation (AP ↔ ESP8266)",
+		"Fig. 2(a) — impact of polarization mismatch on a Wi-Fi link",
+		devices.NetgearAP, devices.ESP8266,
+		func(seed int64) channel.Environment { return channel.Absorber() },
+		2.0, -60, -25))
+	registerSweep(rssiPDFSweep("fig2b",
+		"BLE RSSI PDFs, matched vs mismatched (MetaMotionR ↔ Raspberry Pi 3)",
+		"Fig. 2(b) — impact of polarization mismatch on a BLE link",
+		devices.MetaMotionR, devices.RaspberryPi3,
+		func(seed int64) channel.Environment { return channel.Home(seed+7, 4) },
+		2.0, -90, -55))
 }
 
-// rssiPDF builds the histogram experiment shared by both Fig. 2 panels.
-func rssiPDF(id, title string, tx, rx devices.Radio, env channel.Environment, dist float64, lo, hi float64, seed int64) (*Result, error) {
-	const samples = 2000
-	const bins = 30
-	sc := channel.DefaultScene(nil, dist)
-	sc.Env = env
-	matched, err := devices.NewLink(tx, rx, 0, 0, sc)
-	if err != nil {
-		return nil, err
-	}
-	mismatched, err := devices.NewLink(tx, rx, 0, math.Pi/2, sc)
-	if err != nil {
-		return nil, err
-	}
-	rng := simclock.RNG(seed, id)
-	mSamp := matched.SampleRSSI(samples, rng)
-	xSamp := mismatched.SampleRSSI(samples, rng)
-	mHist := signal.Histogram(mSamp, lo, hi, bins)
-	xHist := signal.Histogram(xSamp, lo, hi, bins)
+// rssiPDFSweep builds the histogram experiment shared by both Fig. 2
+// panels. The histogram is computed in one sampling pass, so the whole
+// panel is a single sweep point: it rides the engine queue but does not
+// shard further.
+func rssiPDFSweep(id, description, title string, tx, rx devices.Radio,
+	envFor func(seed int64) channel.Environment, dist, lo, hi float64) *Sweep {
+	return &Sweep{
+		ID:          id,
+		Description: description,
+		Title:       title,
+		Columns:     []string{"rssi_dBm", "pdf_match_pct", "pdf_mismatch_pct"},
+		Points:      1,
+		Point: func(ctx context.Context, seed int64, _ int) (PointResult, error) {
+			const samples = 2000
+			const bins = 30
+			sc := channel.DefaultScene(nil, dist)
+			sc.Env = envFor(seed)
+			matched, err := devices.NewLink(tx, rx, 0, 0, sc)
+			if err != nil {
+				return PointResult{}, err
+			}
+			mismatched, err := devices.NewLink(tx, rx, 0, math.Pi/2, sc)
+			if err != nil {
+				return PointResult{}, err
+			}
+			rng := simclock.RNG(seed, id)
+			mSamp := matched.SampleRSSI(samples, rng)
+			xSamp := mismatched.SampleRSSI(samples, rng)
+			mHist := signal.Histogram(mSamp, lo, hi, bins)
+			xHist := signal.Histogram(xSamp, lo, hi, bins)
 
-	res := &Result{
-		ID:      id,
-		Title:   title,
-		Columns: []string{"rssi_dBm", "pdf_match_pct", "pdf_mismatch_pct"},
+			var pt PointResult
+			w := (hi - lo) / bins
+			for i := 0; i < bins; i++ {
+				pt.Rows = append(pt.Rows, []float64{lo + (float64(i)+0.5)*w, mHist[i], xHist[i]})
+			}
+			mMean, _ := signal.MeanAndStd(mSamp)
+			xMean, _ := signal.MeanAndStd(xSamp)
+			pt.AddNote("mean matched %.1f dBm, mismatched %.1f dBm: gap %.1f dB (paper shows ≈10)",
+				mMean, xMean, mMean-xMean)
+			return pt, nil
+		},
 	}
-	w := (hi - lo) / bins
-	for i := 0; i < bins; i++ {
-		res.AddRow(lo+(float64(i)+0.5)*w, mHist[i], xHist[i])
-	}
-	mMean, _ := signal.MeanAndStd(mSamp)
-	xMean, _ := signal.MeanAndStd(xSamp)
-	res.AddNote("mean matched %.1f dBm, mismatched %.1f dBm: gap %.1f dB (paper shows ≈10)", mMean, xMean, mMean-xMean)
-	return res, nil
-}
-
-func fig2a(ctx context.Context, seed int64) (*Result, error) {
-	return rssiPDF("fig2a", "Fig. 2(a) — impact of polarization mismatch on a Wi-Fi link",
-		devices.NetgearAP, devices.ESP8266, channel.Absorber(), 2.0, -60, -25, seed)
-}
-
-func fig2b(ctx context.Context, seed int64) (*Result, error) {
-	return rssiPDF("fig2b", "Fig. 2(b) — impact of polarization mismatch on a BLE link",
-		devices.MetaMotionR, devices.RaspberryPi3, channel.Home(seed+7, 4), 2.0, -90, -55, seed)
 }

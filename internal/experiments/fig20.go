@@ -14,15 +14,24 @@ import (
 )
 
 func init() {
-	register("fig20", "Fig. 20 — low-cost IoT link RSSI PDFs with/without the metasurface (mismatched)", fig20)
+	// One optimization pass feeds one sampling pass that fills every
+	// histogram bin, so the figure is a single sweep point.
+	registerSweep(&Sweep{
+		ID:          "fig20",
+		Description: "Fig. 20 — low-cost IoT link RSSI PDFs with/without the metasurface (mismatched)",
+		Title:       "Fig. 20 — ESP8266 ↔ AP RSSI PDFs, mismatched, with vs without LLAMA",
+		Columns:     []string{"rssi_dBm", "pdf_with_pct", "pdf_without_pct"},
+		Points:      1,
+		Point:       fig20Point,
+	})
 }
 
-func fig20(ctx context.Context, seed int64) (*Result, error) {
+func fig20Point(ctx context.Context, seed int64, _ int) (PointResult, error) {
 	const samples = 2000
 	const bins = 30
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+	surf, err := metasurface.New(optimizedFR4)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	scSurf := channel.DefaultScene(surf, 2.0)
 	scBare := channel.DefaultScene(nil, 2.0)
@@ -42,17 +51,17 @@ func fig20(ctx context.Context, seed int64) (*Result, error) {
 		return probe.ReceivedPowerDBm(), nil
 	})
 	if _, err := control.CoarseToFine(ctx, control.DefaultSweepConfig(), act, sen); err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 
 	rng := simclock.RNG(seed, "fig20")
 	withLink, err := devices.NewLink(devices.NetgearAP, devices.ESP8266, 0, math.Pi/2, scSurf)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	withoutLink, err := devices.NewLink(devices.NetgearAP, devices.ESP8266, 0, math.Pi/2, scBare)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	wSamp := withLink.SampleRSSI(samples, rng)
 	oSamp := withoutLink.SampleRSSI(samples, rng)
@@ -60,18 +69,14 @@ func fig20(ctx context.Context, seed int64) (*Result, error) {
 	wHist := signal.Histogram(wSamp, lo, hi, bins)
 	oHist := signal.Histogram(oSamp, lo, hi, bins)
 
-	res := &Result{
-		ID:      "fig20",
-		Title:   "Fig. 20 — ESP8266 ↔ AP RSSI PDFs, mismatched, with vs without LLAMA",
-		Columns: []string{"rssi_dBm", "pdf_with_pct", "pdf_without_pct"},
-	}
+	var pt PointResult
 	w := (hi - lo) / bins
 	for i := 0; i < bins; i++ {
-		res.AddRow(lo+(float64(i)+0.5)*w, wHist[i], oHist[i])
+		pt.Rows = append(pt.Rows, []float64{lo + (float64(i)+0.5)*w, wHist[i], oHist[i]})
 	}
 	wMean, _ := signal.MeanAndStd(wSamp)
 	oMean, _ := signal.MeanAndStd(oSamp)
-	res.AddNote("mean with surface %.1f dBm, without %.1f dBm: gain %.1f dB (paper: ≈10 dB)",
+	pt.AddNote("mean with surface %.1f dBm, without %.1f dBm: gain %.1f dB (paper: ≈10 dB)",
 		wMean, oMean, wMean-oMean)
-	return res, nil
+	return pt, nil
 }

@@ -6,17 +6,48 @@ import (
 	"github.com/llama-surface/llama/internal/channel"
 	"github.com/llama-surface/llama/internal/control"
 	"github.com/llama-surface/llama/internal/metasurface"
-	"github.com/llama-surface/llama/internal/units"
 )
-
-func init() {
-	register("fig21", "Fig. 21 — reflective-mode power landscape over the bias plane at 8 Tx–surface distances", fig21)
-	register("fig22", "Fig. 22 — reflective power and capacity with/without the surface vs distance", fig22)
-}
 
 // Fig21Distances are the Tx–surface separations of §5.2.1 (Tx–Rx fixed at
 // 70 cm on the same side of the surface).
 var Fig21Distances = []float64{0.24, 0.30, 0.36, 0.42, 0.48, 0.54, 0.60, 0.66}
+
+func init() {
+	registerSweep(&Sweep{
+		ID:          "fig21",
+		Description: "Fig. 21 — reflective-mode power landscape over the bias plane at 8 Tx–surface distances",
+		Title:       "Fig. 21 — reflective bias-plane landscape vs Tx–surface distance (mismatched)",
+		Columns:     []string{"dist_cm", "bestVx_V", "bestVy_V", "peak_dBm", "valley_dBm", "range_dB"},
+		Points:      len(Fig21Distances),
+		Point:       fig21Point,
+		Finish: func(res *Result, seed int64) error {
+			res.AddNote("bias dynamic range is much smaller than transmissive Fig. 15 (rotation largely cancels on reflection)")
+			return nil
+		},
+	})
+	registerSweep(&Sweep{
+		ID:          "fig22",
+		Description: "Fig. 22 — reflective power and capacity with/without the surface vs distance",
+		Title:       "Fig. 22 — reflective received power and spectral efficiency vs Tx–surface distance",
+		Columns:     []string{"dist_cm", "with_dBm", "without_dBm", "gain_dB", "se_with", "se_without"},
+		Points:      len(Fig21Distances),
+		Point:       fig22Point,
+		Finish: func(res *Result, seed int64) error {
+			gains := res.Column(3)
+			ses := res.Column(4)
+			baseSes := res.Column(5)
+			var maxDeltaSE float64
+			for i := range ses {
+				if d := ses[i] - baseSes[i]; d > maxDeltaSE {
+					maxDeltaSE = d
+				}
+			}
+			res.AddNote("max reflective gain %.1f dB (paper: 17 dB); max capacity delta %.2f bit/s/Hz (paper: 0.18)",
+				maxIn(gains), maxDeltaSE)
+			return nil
+		},
+	})
+}
 
 // reflectiveScene builds the same-side geometry for one Tx–surface leg.
 // The capacity leg of Fig. 22 runs at 5 µW so the measured-SNR estimator
@@ -30,70 +61,47 @@ func reflectiveScene(surf *metasurface.Surface, d float64) *channel.Scene {
 	return sc
 }
 
-func fig21(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+// fig21Point scans the bias plane at one Tx–surface distance.
+func fig21Point(ctx context.Context, seed int64, i int) (PointResult, error) {
+	surf, err := metasurface.New(optimizedFR4)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	res := &Result{
-		ID:      "fig21",
-		Title:   "Fig. 21 — reflective bias-plane landscape vs Tx–surface distance (mismatched)",
-		Columns: []string{"dist_cm", "bestVx_V", "bestVy_V", "peak_dBm", "valley_dBm", "range_dB"},
+	d := Fig21Distances[i]
+	sc := reflectiveScene(surf, d)
+	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+	sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+	scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
+	if err != nil {
+		return PointResult{}, err
 	}
-	for _, d := range Fig21Distances {
-		sc := reflectiveScene(surf, d)
-		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
-		if err != nil {
-			return nil, err
+	valley := scan.Samples[0].PowerDBm
+	for _, s := range scan.Samples {
+		if s.PowerDBm < valley {
+			valley = s.PowerDBm
 		}
-		valley := scan.Samples[0].PowerDBm
-		for _, s := range scan.Samples {
-			if s.PowerDBm < valley {
-				valley = s.PowerDBm
-			}
-		}
-		res.AddRow(d*100, scan.BestVx, scan.BestVy, scan.BestPowerDBm, valley, scan.BestPowerDBm-valley)
 	}
-	res.AddNote("bias dynamic range is much smaller than transmissive Fig. 15 (rotation largely cancels on reflection)")
-	return res, nil
+	return Row(d*100, scan.BestVx, scan.BestVy, scan.BestPowerDBm, valley, scan.BestPowerDBm-valley), nil
 }
 
-func fig22(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+// fig22Point compares tuned reflective power and capacity against the
+// bare link at one Tx–surface distance.
+func fig22Point(ctx context.Context, seed int64, i int) (PointResult, error) {
+	surf, err := metasurface.New(optimizedFR4)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
-	res := &Result{
-		ID:      "fig22",
-		Title:   "Fig. 22 — reflective received power and spectral efficiency vs Tx–surface distance",
-		Columns: []string{"dist_cm", "with_dBm", "without_dBm", "gain_dB", "se_with", "se_without"},
+	d := Fig21Distances[i]
+	sc := reflectiveScene(surf, d)
+	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
+	sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+	scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
+	if err != nil {
+		return PointResult{}, err
 	}
-	for _, d := range Fig21Distances {
-		sc := reflectiveScene(surf, d)
-		act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
-		sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
-		scan, err := control.FullScan(ctx, control.DefaultSweepConfig(), 1.5, act, sen)
-		if err != nil {
-			return nil, err
-		}
-		base := reflectiveScene(nil, d)
-		base.Surface = nil
-		res.AddRow(d*100, scan.BestPowerDBm, base.ReceivedPowerDBm(),
-			scan.BestPowerDBm-base.ReceivedPowerDBm(),
-			sc.SpectralEfficiency(), base.SpectralEfficiency())
-	}
-	gains := res.Column(3)
-	ses := res.Column(4)
-	baseSes := res.Column(5)
-	var maxDeltaSE float64
-	for i := range ses {
-		if d := ses[i] - baseSes[i]; d > maxDeltaSE {
-			maxDeltaSE = d
-		}
-	}
-	res.AddNote("max reflective gain %.1f dB (paper: 17 dB); max capacity delta %.2f bit/s/Hz (paper: 0.18)",
-		maxIn(gains), maxDeltaSE)
-	return res, nil
+	base := reflectiveScene(nil, d)
+	base.Surface = nil
+	return Row(d*100, scan.BestPowerDBm, base.ReceivedPowerDBm(),
+		scan.BestPowerDBm-base.ReceivedPowerDBm(),
+		sc.SpectralEfficiency(), base.SpectralEfficiency()), nil
 }

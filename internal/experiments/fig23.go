@@ -7,17 +7,25 @@ import (
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/sensing"
 	"github.com/llama-surface/llama/internal/simclock"
-	"github.com/llama-surface/llama/internal/units"
 )
 
 func init() {
-	register("fig23", "Fig. 23 — human respiration sensing with/without the surface at 5 mW", fig23)
+	// The with/without traces must be zipped row-by-row over a shared time
+	// axis, so the whole recording is a single sweep point.
+	registerSweep(&Sweep{
+		ID:          "fig23",
+		Description: "Fig. 23 — human respiration sensing with/without the surface at 5 mW",
+		Title:       "Fig. 23 — respiration RSSI trace (60 s, decimated) and detection outcome",
+		Columns:     []string{"time_s", "with_dBm", "without_dBm"},
+		Points:      1,
+		Point:       fig23Point,
+	})
 }
 
-func fig23(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
+func fig23Point(ctx context.Context, seed int64, _ int) (PointResult, error) {
+	surf, err := metasurface.New(optimizedFR4)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	surf.SetBias(8, 8)
 
@@ -40,24 +48,20 @@ func fig23(ctx context.Context, seed int64) (*Result, error) {
 	}
 	withTrace, withA, err := run(surf)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 	withoutTrace, withoutA, err := run(nil)
 	if err != nil {
-		return nil, err
+		return PointResult{}, err
 	}
 
-	res := &Result{
-		ID:      "fig23",
-		Title:   "Fig. 23 — respiration RSSI trace (60 s, decimated) and detection outcome",
-		Columns: []string{"time_s", "with_dBm", "without_dBm"},
-	}
+	var pt PointResult
 	for i := 0; i < len(withTrace); i += 10 { // decimate to 1 Hz rows
-		res.AddRow(float64(i)/10, withTrace[i], withoutTrace[i])
+		pt.Rows = append(pt.Rows, []float64{float64(i) / 10, withTrace[i], withoutTrace[i]})
 	}
-	res.AddNote("with surface: detected=%v rate=%.2f Hz (true 0.25), peak SNR %.1f dB",
+	pt.AddNote("with surface: detected=%v rate=%.2f Hz (true 0.25), peak SNR %.1f dB",
 		withA.Detected, withA.RateHz, withA.PeakSNRdB)
-	res.AddNote("without surface: detected=%v, peak SNR %.1f dB (paper: undetectable at 5 mW)",
+	pt.AddNote("without surface: detected=%v, peak SNR %.1f dB (paper: undetectable at 5 mW)",
 		withoutA.Detected, withoutA.PeakSNRdB)
-	return res, nil
+	return pt, nil
 }

@@ -7,43 +7,47 @@ import (
 	"github.com/llama-surface/llama/internal/units"
 )
 
-func init() {
-	register("tab1", "Table 1 — simulated polarization rotation degrees over the (Vx, Vy) grid", table1)
-}
-
 // Table1Biases is the voltage grid of the paper's Table 1.
 var Table1Biases = []float64{2, 3, 4, 5, 6, 10, 15}
 
-func table1(ctx context.Context, seed int64) (*Result, error) {
-	surf, err := metasurface.New(metasurface.OptimizedFR4Design(units.DefaultCarrierHz))
-	if err != nil {
-		return nil, err
-	}
+func init() {
 	cols := []string{"Vy_V"}
 	for _, vx := range Table1Biases {
 		cols = append(cols, "Vx="+formatCell(vx))
 	}
-	res := &Result{
-		ID:      "tab1",
-		Title:   "Table 1 — simulated rotation degrees θr(Vx, Vy) at 2.44 GHz",
-		Columns: cols,
-	}
-	min, max := 180.0, 0.0
-	for _, vy := range Table1Biases {
-		row := []float64{vy}
-		for _, vx := range Table1Biases {
-			surf.SetBias(vx, vy)
-			r := surf.RotationDegrees(units.DefaultCarrierHz)
-			row = append(row, r)
-			if r < min {
-				min = r
+	registerSweep(&Sweep{
+		ID:          "tab1",
+		Description: "Table 1 — simulated polarization rotation degrees over the (Vx, Vy) grid",
+		Title:       "Table 1 — simulated rotation degrees θr(Vx, Vy) at 2.44 GHz",
+		Columns:     cols,
+		Points:      len(Table1Biases),
+		Point: func(ctx context.Context, seed int64, i int) (PointResult, error) {
+			surf, err := metasurface.New(optimizedFR4)
+			if err != nil {
+				return PointResult{}, err
 			}
-			if r > max {
-				max = r
+			vy := Table1Biases[i]
+			row := []float64{vy}
+			for _, vx := range Table1Biases {
+				surf.SetBias(vx, vy)
+				row = append(row, surf.RotationDegrees(units.DefaultCarrierHz))
 			}
-		}
-		res.AddRow(row...)
-	}
-	res.AddNote("rotation range %.1f°–%.1f° (paper Table 1: 1.9°–48.7°)", min, max)
-	return res, nil
+			return Row(row...), nil
+		},
+		Finish: func(res *Result, seed int64) error {
+			min, max := 180.0, 0.0
+			for _, row := range res.Rows {
+				for _, r := range row[1:] {
+					if r < min {
+						min = r
+					}
+					if r > max {
+						max = r
+					}
+				}
+			}
+			res.AddNote("rotation range %.1f°–%.1f° (paper Table 1: 1.9°–48.7°)", min, max)
+			return nil
+		},
+	})
 }

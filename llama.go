@@ -235,12 +235,14 @@ func DescribeExperiment(id string) string { return experiments.Describe(id) }
 type ExperimentResult = experiments.Result
 
 // ExperimentOptions selects which experiments to run, across which
-// replication seeds, and how wide the worker pool fans out.
+// replication seeds, how wide the worker pool fans out, and whether each
+// experiment's sweep rows shard into per-point jobs (ShardRows) so a
+// single experiment can saturate the pool on its own.
 type ExperimentOptions = experiments.Options
 
 // ExperimentReport is the outcome of an engine run: per-seed tables in
-// ID order, per-experiment wall time, and (for multi-seed runs) the
-// mean±stddev aggregates.
+// ID order, per-experiment wall time, row counts and shard speedup, and
+// (for multi-seed runs) the mean±stddev aggregates.
 type ExperimentReport = experiments.Report
 
 // ReplicatedExperiment is one experiment aggregated across seeds.
@@ -257,8 +259,10 @@ func RunExperiment(ctx context.Context, id string, seed int64) (*ExperimentResul
 
 // RunExperiments executes the selected experiments concurrently across
 // the configured seeds and worker pool. The zero Options value runs the
-// whole registry once with seed 1 at GOMAXPROCS workers; results are
-// bit-identical to a serial run regardless of concurrency.
+// whole registry once with seed 1 at GOMAXPROCS workers; with ShardRows
+// set, each experiment's sweep additionally splits into per-row jobs so
+// even a single experiment saturates the pool. Results are bit-identical
+// to a serial run regardless of concurrency or sharding.
 func RunExperiments(ctx context.Context, opts ExperimentOptions) (*ExperimentReport, error) {
 	return experiments.Execute(ctx, opts)
 }
