@@ -70,6 +70,7 @@ func BenchmarkExtSchedule(b *testing.B)   { benchExperiment(b, "ext-schedule") }
 
 func BenchmarkRunAllSerial(b *testing.B) {
 	ctx := context.Background()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunAll(ctx, int64(i+1))
 		if err != nil {
@@ -85,6 +86,7 @@ func benchRunAllParallel(b *testing.B, workers int) {
 	b.Helper()
 	ctx := context.Background()
 	eng := &experiments.Engine{Concurrency: workers}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := eng.RunAll(ctx, int64(i+1))
 		if err != nil {
@@ -109,6 +111,7 @@ func benchRunAllSharded(b *testing.B, workers int) {
 	b.Helper()
 	ctx := context.Background()
 	eng := &experiments.Engine{Concurrency: workers, ShardRows: true}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := eng.RunAll(ctx, int64(i+1))
 		if err != nil {
@@ -134,6 +137,8 @@ func benchSingleExperiment(b *testing.B, id string, workers int, shard bool) {
 	b.Helper()
 	ctx := context.Background()
 	eng := &experiments.Engine{Concurrency: workers, IDs: []string{id}, ShardRows: shard}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := eng.RunAll(ctx, int64(i+1))
 		if err != nil {
@@ -145,9 +150,19 @@ func benchSingleExperiment(b *testing.B, id string, workers int, shard bool) {
 	}
 }
 
-func BenchmarkFig15Serial(b *testing.B)       { benchSingleExperiment(b, "fig15", 1, false) }
-func BenchmarkFig15Sharded4(b *testing.B)     { benchSingleExperiment(b, "fig15", 4, true) }
-func BenchmarkFig15Sharded8(b *testing.B)     { benchSingleExperiment(b, "fig15", 8, true) }
+func BenchmarkFig15Serial(b *testing.B)   { benchSingleExperiment(b, "fig15", 1, false) }
+func BenchmarkFig15Sharded4(b *testing.B) { benchSingleExperiment(b, "fig15", 4, true) }
+func BenchmarkFig15Sharded8(b *testing.B) { benchSingleExperiment(b, "fig15", 8, true) }
+
+// BenchmarkFig15SerialUncached is the A/B counterpart of
+// BenchmarkFig15Serial with the response cache disabled: the ratio of
+// the two is the measured cache speedup on the bias-plane scan workload
+// (the same A/B the llama-bench -cache flag exposes).
+func BenchmarkFig15SerialUncached(b *testing.B) {
+	SetCaching(false)
+	defer SetCaching(true)
+	benchSingleExperiment(b, "fig15", 1, false)
+}
 func BenchmarkFig19Serial(b *testing.B)       { benchSingleExperiment(b, "fig19", 1, false) }
 func BenchmarkFig19Sharded8(b *testing.B)     { benchSingleExperiment(b, "fig19", 8, true) }
 func BenchmarkExt900MHzSerial(b *testing.B)   { benchSingleExperiment(b, "ext-900mhz", 1, false) }
@@ -212,7 +227,26 @@ func BenchmarkSceneFieldTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkSurfaceJonesTransmissiveUncached isolates the raw physics
+// kernel (cache bypassed): comparing against the cached benchmark above
+// shows what memoization buys per evaluation.
+func BenchmarkSurfaceJonesTransmissiveUncached(b *testing.B) {
+	SetCaching(false)
+	defer SetCaching(true)
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	surf.SetBias(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := surf.JonesTransmissive(DefaultCarrierHz)
+		if m.MaxAbs() == 0 {
+			b.Fatal("degenerate Jones matrix")
+		}
+	}
+}
+
 func BenchmarkClosedLoopSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		loop, err := NewLoop(LoopConfig{Seed: int64(i + 1)})
 		if err != nil {
@@ -232,6 +266,7 @@ func BenchmarkCoarseToFineAlgorithm(b *testing.B) {
 	sc := MismatchedLink(surf, 0.48)
 	act := control.ActuatorFunc(func(vx, vy float64) error { surf.SetBias(vx, vy); return nil })
 	sen := control.SensorFunc(func() (float64, error) { return sc.ReceivedPowerDBm(), nil })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := control.CoarseToFine(context.Background(), control.DefaultSweepConfig(), act, sen); err != nil {

@@ -10,6 +10,8 @@
 //	llama-bench -parallel             fan experiments out across GOMAXPROCS workers
 //	llama-bench -parallel -seeds 5    replicate across 5 seeds; tables carry mean±stddev
 //	llama-bench -shard-rows -run fig15  split one experiment's sweep rows across the pool
+//	llama-bench -batch-rows 4         group 4 sweep points per sharded job
+//	llama-bench -cache=false          disable the physics response cache (A/B timing)
 //	llama-bench -timeout 30s          bound the whole run
 //
 // Tables go to stdout (text, csv or json via -format); the per-experiment
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/metasurface"
 )
 
 func main() {
@@ -34,10 +37,16 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "replication count: run seeds seed..seed+N-1 and aggregate mean±stddev")
 		parallel = flag.Bool("parallel", false, "fan experiments out across GOMAXPROCS workers (serial otherwise)")
 		shard    = flag.Bool("shard-rows", false, "split each experiment's sweep rows into per-point jobs so even a single -run saturates the pool (implies -parallel; output is bit-identical)")
+		batch    = flag.Int("batch-rows", 1, "group N consecutive sweep points per sharded job, amortizing queue overhead on huge axes (implies -shard-rows when > 1; output is bit-identical)")
+		cache    = flag.Bool("cache", true, "memoize the metasurface response physics; disable for A/B timing of the uncached kernels (outputs are bit-identical either way)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		format   = flag.String("format", "text", "output format: text, csv or json")
 	)
 	flag.Parse()
+	metasurface.SetCaching(*cache)
+	if *batch > 1 {
+		*shard = true
+	}
 
 	switch *format {
 	case "text", "csv", "json":
@@ -91,7 +100,7 @@ func main() {
 		if *seeds < 1 {
 			fatal(fmt.Errorf("-seeds %d: need at least one seed", *seeds))
 		}
-		opts := experiments.Options{Concurrency: 1, ShardRows: *shard}
+		opts := experiments.Options{Concurrency: 1, ShardRows: *shard, BatchRows: *batch}
 		if *parallel || *shard {
 			opts.Concurrency = 0 // engine default: GOMAXPROCS
 		}

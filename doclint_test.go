@@ -87,6 +87,45 @@ func TestDocLintInternalPackages(t *testing.T) {
 	}
 }
 
+// TestDocLintInternalExported fails on any undocumented exported
+// identifier in any internal package. Internal exports are the contracts
+// between layers (metasurface.CacheStats, twoport.CascadeN,
+// experiments.Timing, …), and godoc-visible documentation on them is what
+// keeps ARCHITECTURE.md's layer story navigable — so the gate covers them
+// exactly like the root API.
+func TestDocLintInternalExported(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			continue
+		}
+		for _, pkg := range parseDir(t, dir) {
+			for name, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if !d.Name.IsExported() {
+							continue
+						}
+						if d.Recv != nil && !exportedReceiver(d.Recv) {
+							continue
+						}
+						if d.Doc == nil {
+							t.Errorf("%s: exported %s %s has no doc comment", name, declKind(d), d.Name.Name)
+						}
+					case *ast.GenDecl:
+						lintGenDecl(t, name, d)
+					}
+				}
+			}
+		}
+	}
+}
+
 // lintGenDecl checks an exported const/var/type declaration: the group's
 // doc covers all specs; otherwise each exported spec needs its own doc or
 // trailing comment.

@@ -127,7 +127,43 @@ func scatterEnv(name string, seed int64, n int, gainLo, gainSpan float64) Enviro
 	return env
 }
 
+// sceneTerms caches the per-scene derived quantities that are fixed
+// between mutations: the endpoint polarization states and boresight gain
+// product (identical for every path), and the per-scatterer Jones
+// matrices and pattern gain products. The cache is invalidated by key
+// comparison on access — the endpoint and scatterer fields are small
+// comparable structs, so detecting a mutation costs a few equality tests
+// where recomputing costs trig and antenna-pattern evaluations — which
+// keeps it correct even though Scene's fields are exported and mutable.
+//
+// Rebuilds always allocate fresh slices (never reuse backing arrays):
+// Scenes are copied by value in several call sites (baseline comparisons,
+// mobility timelines), and a rebuild that wrote into a shared backing
+// array would silently corrupt the other copy's still-valid cache.
+type sceneTerms struct {
+	// epValid guards the endpoint terms; the key fields record the
+	// endpoint configuration they were computed from.
+	epValid            bool
+	txAnt, rxAnt       antenna.Model
+	txOrient, rxOrient float64
+	tState, rState     jones.Vector
+	gain0              float64 // √(G_tx(0)·G_rx(0))
+
+	// scatKey is the scatterer list the terms below were built from,
+	// against the scatAnt antennas (orientation does not enter them, so
+	// they survive endpoint rotation).
+	scatTxAnt, scatRxAnt antenna.Model
+	scatValid            bool
+	scatKey              []Scatterer
+	scatJones            []mat2.Mat
+	scatGain             []float64
+}
+
 // Scene is a complete, evaluable radio configuration.
+//
+// A Scene is not safe for concurrent use: evaluation maintains a lazily
+// computed term cache (and the surface bias is mutable shared state), so
+// concurrent goroutines must each own their own Scene.
 type Scene struct {
 	// FreqHz is the carrier frequency.
 	FreqHz float64
@@ -162,6 +198,56 @@ type Scene struct {
 	// TxReflection is the Tx antenna structural reflection coefficient
 	// used by the surface↔antenna standing-wave term.
 	TxReflection float64
+
+	// terms is the lazily computed, mutation-invalidated cache of
+	// endpoint and scatterer derived quantities.
+	terms sceneTerms
+}
+
+// endpointTerms returns the cached endpoint polarization states and the
+// boresight gain product, recomputing them when an endpoint field has
+// changed since the last evaluation.
+func (s *Scene) endpointTerms() (t, r jones.Vector, gain0 float64) {
+	m := &s.terms
+	if !m.epValid ||
+		m.txAnt != s.Tx.Antenna || m.txOrient != s.Tx.Orientation ||
+		m.rxAnt != s.Rx.Antenna || m.rxOrient != s.Rx.Orientation {
+		m.txAnt, m.txOrient = s.Tx.Antenna, s.Tx.Orientation
+		m.rxAnt, m.rxOrient = s.Rx.Antenna, s.Rx.Orientation
+		m.tState = s.Tx.State()
+		m.rState = s.Rx.State()
+		m.gain0 = math.Sqrt(s.Tx.Antenna.Gain(0) * s.Rx.Antenna.Gain(0))
+		m.epValid = true
+	}
+	return m.tState, m.rState, m.gain0
+}
+
+// scattererTerms returns the cached per-scatterer polarization matrices
+// and pattern gain products, rebuilding them when the environment's
+// scatterer list or the endpoint antennas have changed (orientation
+// doesn't enter, so a rotating endpoint keeps its scatterer terms).
+func (s *Scene) scattererTerms() (jm []mat2.Mat, gain []float64) {
+	m := &s.terms
+	sc := s.Env.Scatterers
+	same := m.scatValid &&
+		m.scatTxAnt == s.Tx.Antenna && m.scatRxAnt == s.Rx.Antenna &&
+		len(m.scatKey) == len(sc)
+	for i := 0; same && i < len(sc); i++ {
+		same = m.scatKey[i] == sc[i]
+	}
+	if !same {
+		m.scatTxAnt, m.scatRxAnt = s.Tx.Antenna, s.Rx.Antenna
+		m.scatKey = append([]Scatterer(nil), sc...)
+		m.scatJones = make([]mat2.Mat, 0, len(sc))
+		m.scatGain = make([]float64, 0, len(sc))
+		for _, x := range sc {
+			m.scatJones = append(m.scatJones, scattererJones(x))
+			m.scatGain = append(m.scatGain,
+				math.Sqrt(s.Tx.Antenna.Gain(x.OffBoresightTx)*s.Rx.Antenna.Gain(x.OffBoresightRx)))
+		}
+		m.scatValid = true
+	}
+	return m.scatJones, m.scatGain
 }
 
 // Validate reports an error when the scene is not evaluable.
@@ -205,19 +291,18 @@ func (s *Scene) pathAmplitude(d float64) complex128 {
 // Rx ports, including antenna gains, polarization projection, the surface
 // (when present) and the environment's multipath.
 func (s *Scene) FieldTransfer() complex128 {
-	tState := s.Tx.State()
-	rState := s.Rx.State()
+	tState, rState, gain0 := s.endpointTerms()
 
 	var h complex128
 	switch {
 	case s.Surface == nil:
 		// Direct line of sight only.
-		h += s.losTerm(tState, rState, s.directDistance())
+		h += s.losTerm(tState, rState, gain0, s.directDistance())
 	case s.Mode == metasurface.Transmissive:
-		h += s.throughSurfaceTerm(tState, rState)
+		h += s.throughSurfaceTerm(tState, rState, gain0)
 	default: // Reflective
-		h += s.losTerm(tState, rState, s.Geom.TxRx)
-		h += s.reflectedTerm(tState, rState)
+		h += s.losTerm(tState, rState, gain0, s.Geom.TxRx)
+		h += s.reflectedTerm(tState, rState, gain0)
 	}
 	h += s.multipathTerms(tState, rState)
 	return h
@@ -233,23 +318,22 @@ func (s *Scene) directDistance() float64 {
 	return s.Geom.TxRx
 }
 
-// losTerm is a free-space path with no polarization transformation.
-func (s *Scene) losTerm(t, r jones.Vector, d float64) complex128 {
+// losTerm is a free-space path with no polarization transformation;
+// gain0 is the cached boresight gain product from endpointTerms.
+func (s *Scene) losTerm(t, r jones.Vector, gain0, d float64) complex128 {
 	amp := s.pathAmplitude(d)
-	g := math.Sqrt(s.Tx.Antenna.Gain(0) * s.Rx.Antenna.Gain(0))
-	return amp * complex(g, 0) * r.Dot(t)
+	return amp * complex(gain0, 0) * r.Dot(t)
 }
 
 // throughSurfaceTerm is the transmissive path: Tx → surface → Rx with the
 // surface's Jones matrix applied, plus the surface↔Tx standing-wave
 // correction that shifts the optimal bias with distance (Fig. 15's
 // distance-dependent heatmaps).
-func (s *Scene) throughSurfaceTerm(t, r jones.Vector) complex128 {
+func (s *Scene) throughSurfaceTerm(t, r jones.Vector, gain0 float64) complex128 {
 	d1, d2 := s.Geom.TxSurface, s.Geom.SurfaceRx
 	m := s.Surface.JonesTransmissive(s.FreqHz)
 	amp := s.pathAmplitude(d1 + d2)
-	g := math.Sqrt(s.Tx.Antenna.Gain(0) * s.Rx.Antenna.Gain(0))
-	direct := amp * complex(g, 0) * r.Dot(m.MulVec(t))
+	direct := amp * complex(gain0, 0) * r.Dot(m.MulVec(t))
 	// Standing wave: the surface's front face reflects part of the
 	// incident wave back to the Tx antenna, which re-reflects it toward
 	// the surface with an extra 2·d1 of travel. The product of the two
@@ -262,25 +346,25 @@ func (s *Scene) throughSurfaceTerm(t, r jones.Vector) complex128 {
 // reflectedTerm is the surface bounce path of the reflective deployment:
 // by image theory over a large flat reflector the spreading distance is
 // the sum of both legs.
-func (s *Scene) reflectedTerm(t, r jones.Vector) complex128 {
+func (s *Scene) reflectedTerm(t, r jones.Vector, gain0 float64) complex128 {
 	d := s.Geom.TxSurface + s.Geom.SurfaceRx
 	m := s.Surface.JonesReflective(s.FreqHz)
 	amp := s.pathAmplitude(d)
-	g := math.Sqrt(s.Tx.Antenna.Gain(0) * s.Rx.Antenna.Gain(0))
-	return amp * complex(g, 0) * r.Dot(m.MulVec(t))
+	return amp * complex(gain0, 0) * r.Dot(m.MulVec(t))
 }
 
 // multipathTerms sums the environment's scattered paths. Directional
-// antennas suppress off-boresight bounces through their pattern.
+// antennas suppress off-boresight bounces through their pattern; the
+// per-scatterer polarization matrices and gains come from the scene's
+// term cache.
 func (s *Scene) multipathTerms(t, r jones.Vector) complex128 {
 	var h complex128
 	base := s.directDistance()
-	for _, sc := range s.Env.Scatterers {
+	jm, gain := s.scattererTerms()
+	for i, sc := range s.Env.Scatterers {
 		d := base + sc.ExtraPathM
 		amp := s.pathAmplitude(d) * complex(sc.GainLinear, 0)
-		g := math.Sqrt(s.Tx.Antenna.Gain(sc.OffBoresightTx) * s.Rx.Antenna.Gain(sc.OffBoresightRx))
-		m := scattererJones(sc)
-		h += amp * complex(g, 0) * r.Dot(m.MulVec(t))
+		h += amp * complex(gain[i], 0) * r.Dot(jm[i].MulVec(t))
 	}
 	return h
 }

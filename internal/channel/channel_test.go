@@ -377,3 +377,64 @@ func TestFrequencyDependence(t *testing.T) {
 		}
 	}
 }
+
+// TestSceneTermCacheTransparent: the lazily cached endpoint and scatterer
+// terms must be invisible — evaluating, mutating any cached-over field,
+// and evaluating again must give bit-identical results to a fresh scene
+// with the final configuration.
+func TestSceneTermCacheTransparent(t *testing.T) {
+	build := func() *Scene {
+		sc := DefaultScene(nil, 0.48)
+		sc.Env = Laboratory(7, 5)
+		return sc
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Scene)
+	}{
+		{"rx orientation", func(s *Scene) { s.Rx.Orientation = 0.3 }},
+		{"tx antenna", func(s *Scene) { s.Tx.Antenna = antenna.OmniWiFi }},
+		{"environment", func(s *Scene) { s.Env = Laboratory(8, 3) }},
+		{"scatterer edited in place", func(s *Scene) { s.Env.Scatterers[2].PolRotation += 0.5 }},
+		{"scatterers truncated", func(s *Scene) { s.Env.Scatterers = s.Env.Scatterers[:1] }},
+	}
+	for _, m := range mutations {
+		warm := build()
+		if warm.FieldTransfer() == 0 {
+			t.Fatalf("%s: degenerate field", m.name)
+		}
+		m.mut(warm) // mutate AFTER the cache is populated
+		fresh := build()
+		m.mut(fresh) // fresh scene evaluated only in the final state
+		got, want := warm.FieldTransfer(), fresh.FieldTransfer()
+		if got != want {
+			t.Errorf("%s: cached scene %v, fresh scene %v — stale terms survived mutation", m.name, got, want)
+		}
+	}
+}
+
+// TestSceneValueCopyDoesNotAliasTerms: Scenes are copied by value at
+// several call sites (baseline comparisons, mobility timelines). A term
+// rebuild in one copy must never write into backing arrays the other
+// copy's still-valid cache reads from.
+func TestSceneValueCopyDoesNotAliasTerms(t *testing.T) {
+	orig := DefaultScene(nil, 0.48)
+	orig.Env = Laboratory(3, 6)
+	wantOrig := orig.FieldTransfer() // populate the original's terms
+
+	clone := *orig
+	clone.Tx.Antenna = antenna.OmniWiFi // different scatterer gains
+	clone.Rx.Antenna = antenna.HalfWaveDipole
+	_ = clone.FieldTransfer() // rebuild terms inside the copy
+
+	if got := orig.FieldTransfer(); got != wantOrig {
+		t.Fatalf("original scene drifted after a value copy rebuilt its terms: %v != %v", got, wantOrig)
+	}
+	fresh := DefaultScene(nil, 0.48)
+	fresh.Env = Laboratory(3, 6)
+	fresh.Tx.Antenna = antenna.OmniWiFi
+	fresh.Rx.Antenna = antenna.HalfWaveDipole
+	if got, want := clone.FieldTransfer(), fresh.FieldTransfer(); got != want {
+		t.Fatalf("copied scene %v != fresh scene %v", got, want)
+	}
+}

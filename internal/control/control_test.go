@@ -159,6 +159,33 @@ func TestFullScanExhaustive(t *testing.T) {
 	}
 }
 
+func TestFullScanGridIndexedNotAccumulated(t *testing.T) {
+	// A non-representable step (0.1) accumulates rounding error when the
+	// grid is walked as vx += step: after 300 additions the last column
+	// lands at 29.999999999999964 > VMax − ε and can drop entirely. The
+	// indexed grid (VMin + i·step) must keep every column and land each
+	// voltage on the exact indexed value.
+	h := &landscapeHarness{f: quadraticLandscape(12, 24)}
+	cfg := DefaultSweepConfig()
+	res, err := FullScan(context.Background(), cfg, 0.1, h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perAxis = 301 // 0.0, 0.1, …, 30.0
+	if want := perAxis * perAxis; len(res.Samples) != want {
+		t.Errorf("samples = %d, want %d", len(res.Samples), want)
+	}
+	// First row of the grid walks Vy over the whole axis: every voltage
+	// must be the exact indexed value, including the final column at
+	// VMin + 300·0.1 (NOT clamped to a drifted accumulation).
+	for j := 0; j < perAxis && j < len(res.Samples); j++ {
+		want := cfg.VMin + float64(j)*0.1
+		if got := res.Samples[j].Vy; got != want {
+			t.Fatalf("sample %d: Vy = %v, want exact %v", j, got, want)
+		}
+	}
+}
+
 func TestFullScanRejectsBadStep(t *testing.T) {
 	h := &landscapeHarness{f: quadraticLandscape(1, 1)}
 	if _, err := FullScan(context.Background(), DefaultSweepConfig(), 0, h, h); err == nil {

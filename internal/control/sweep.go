@@ -178,8 +178,16 @@ func FullScan(ctx context.Context, cfg SweepConfig, stepV float64, act Actuator,
 		return Result{}, errors.New("control: non-positive scan step")
 	}
 	res := Result{BestPowerDBm: math.Inf(-1)}
-	for vx := cfg.VMin; vx <= cfg.VMax+1e-9; vx += stepV {
-		for vy := cfg.VMin; vy <= cfg.VMax+1e-9; vy += stepV {
+	// Index the grid as VMin + i·stepV rather than accumulating vx += stepV:
+	// accumulated rounding error on non-representable steps (0.1, …) can
+	// drop or duplicate the last grid column, and the indexed form keeps
+	// every scan of the same range on bit-identical voltages. The epsilon
+	// admits a last column that lands within float noise of VMax.
+	steps := int(math.Floor((cfg.VMax-cfg.VMin)/stepV + 1e-9))
+	for i := 0; i <= steps; i++ {
+		vx := cfg.VMin + float64(i)*stepV
+		for j := 0; j <= steps; j++ {
+			vy := cfg.VMin + float64(j)*stepV
 			if err := ctx.Err(); err != nil {
 				return res, fmt.Errorf("control: scan aborted: %w", err)
 			}

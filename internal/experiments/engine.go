@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/llama-surface/llama/internal/metasurface"
 )
 
 // Engine executes registered experiments concurrently across a bounded
@@ -38,6 +40,11 @@ type Engine struct {
 	// ShardRows splits sweep-shaped experiments into per-point row jobs.
 	// Experiments registered as plain Runners still run whole.
 	ShardRows bool
+	// BatchRows groups that many consecutive sweep points into one queued
+	// job (with ShardRows), amortizing per-job queue overhead on axes
+	// with many cheap points. ≤1 means one point per job. Collection
+	// stays slot-indexed per point, so output is unchanged.
+	BatchRows int
 }
 
 // Timing records one experiment's cost, summed across seeds when the run
@@ -57,6 +64,12 @@ type Timing struct {
 	// Points is the number of jobs the experiment contributed per seed:
 	// 1 for a whole-experiment job, the axis length for a sharded sweep.
 	Points int
+	// CacheHits and CacheMisses are the metasurface response-cache
+	// lookups attributed to this experiment's jobs. The counters are
+	// process-global, so per-experiment attribution is measured only on
+	// single-worker runs (no interleaving); wider pools leave them zero
+	// and rely on the run-wide totals in Report.
+	CacheHits, CacheMisses uint64
 }
 
 // Report summarises an Engine run: the per-seed results in ID order,
@@ -83,6 +96,14 @@ type Report struct {
 	// the contiguous prefix of completed points, in cell order, so a late
 	// point failure does not discard every finished row.
 	Salvaged []*Result
+	// CacheHits and CacheMisses are the metasurface response-cache
+	// lookups the whole run performed (global-counter delta from run
+	// start to end — exact for any worker count, though concurrent runs
+	// in the same process would cross-attribute). Both zero when caching
+	// is disabled.
+	CacheHits, CacheMisses uint64
+	// BatchRows records the per-job point batch size the run used.
+	BatchRows int
 }
 
 // Render writes the timing summary as an aligned text table. Sharded
@@ -93,6 +114,9 @@ func (rep *Report) Render(w io.Writer) error {
 	mode := ""
 	if rep.ShardRows {
 		mode = ", row-sharded"
+		if rep.BatchRows > 1 {
+			mode = fmt.Sprintf("%s ×%d-point batches", mode, rep.BatchRows)
+		}
 	}
 	fmt.Fprintf(&sb, "== engine: %d experiments × %d seed(s), %d worker(s), wall %v%s\n",
 		len(rep.Timings), len(rep.Seeds), rep.Concurrency, rep.Wall.Round(time.Microsecond), mode)
@@ -112,7 +136,14 @@ func (rep *Report) Render(w io.Writer) error {
 			fmt.Fprintf(&sb, "  %4d shards  busy %v (%.1f×)",
 				t.Points, t.Busy.Round(time.Microsecond), speedup)
 		}
+		if n := t.CacheHits + t.CacheMisses; n > 0 {
+			fmt.Fprintf(&sb, "  cache %d/%d", t.CacheHits, n)
+		}
 		sb.WriteByte('\n')
+	}
+	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
+		fmt.Fprintf(&sb, "cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			rep.CacheHits, rep.CacheMisses, 100*float64(rep.CacheHits)/float64(n))
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -193,13 +224,16 @@ type Options struct {
 	// pool, so even a single experiment saturates the workers. Output is
 	// bit-identical either way.
 	ShardRows bool
+	// BatchRows groups that many consecutive sweep points per sharded
+	// job (≤1 = one point per job); see Engine.BatchRows.
+	BatchRows int
 }
 
 // Execute runs opts through an Engine and returns the combined report.
 // On failure the report carries whatever completed, and the error names
 // the experiment, seed and (for sharded sweeps) point that failed.
 func Execute(ctx context.Context, opts Options) (*Report, error) {
-	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs, ShardRows: opts.ShardRows}
+	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs, ShardRows: opts.ShardRows, BatchRows: opts.BatchRows}
 	seeds := opts.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -298,6 +332,9 @@ type cellRun struct {
 	errs    []error
 	started []time.Time
 	elapsed []time.Duration
+	// Per-slot response-cache lookup deltas, recorded only on
+	// single-worker runs (see Timing.CacheHits).
+	cacheHits, cacheMisses []uint64
 	// res is the assembled table (nil when the cell failed or was
 	// cancelled); partial is the salvaged prefix of a failed sweep.
 	res     *Result
@@ -315,6 +352,15 @@ func (c *cellRun) busy() time.Duration {
 		total += d
 	}
 	return total
+}
+
+// cacheDelta sums the cell's per-slot response-cache lookups.
+func (c *cellRun) cacheDelta() (hits, misses uint64) {
+	for p := range c.cacheHits {
+		hits += c.cacheHits[p]
+		misses += c.cacheMisses[p]
+	}
+	return hits, misses
 }
 
 // span returns the wall-clock interval the cell occupied: first job start
@@ -409,11 +455,19 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 		return nil, err
 	}
 	start := time.Now()
+	cacheStart := metasurface.GlobalCacheStats()
+
+	batch := e.BatchRows
+	if batch < 1 {
+		batch = 1
+	}
 
 	// Lay out every cell and its job slots before any worker starts: the
-	// fixed layout is what makes collection order-independent.
+	// fixed layout is what makes collection order-independent. With
+	// BatchRows > 1 a job covers a contiguous run of sweep points, but
+	// collection slots stay per point, so batching cannot reorder rows.
 	cells := make([]cellRun, 0, len(ids)*len(seeds))
-	type job struct{ cell, point int }
+	type job struct{ cell, point, count int }
 	var queue []job
 	for _, id := range ids {
 		for _, seed := range seeds {
@@ -430,18 +484,27 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 			c.errs = make([]error, slots)
 			c.started = make([]time.Time, slots)
 			c.elapsed = make([]time.Duration, slots)
+			c.cacheHits = make([]uint64, slots)
+			c.cacheMisses = make([]uint64, slots)
 			ci := len(cells)
 			cells = append(cells, c)
 			if c.sweep != nil {
-				for p := 0; p < c.sweep.Points; p++ {
-					queue = append(queue, job{cell: ci, point: p})
+				for p := 0; p < c.sweep.Points; p += batch {
+					n := batch
+					if p+n > c.sweep.Points {
+						n = c.sweep.Points - p
+					}
+					queue = append(queue, job{cell: ci, point: p, count: n})
 				}
 			} else {
-				queue = append(queue, job{cell: ci, point: 0})
+				queue = append(queue, job{cell: ci, point: 0, count: 1})
 			}
 		}
 	}
 	workers := e.workers(len(queue))
+	// The response-cache counters are process-global, so per-job deltas
+	// are attributable only when exactly one job runs at a time.
+	trackCache := workers == 1
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -453,10 +516,18 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 			defer wg.Done()
 			for jb := range jobs {
 				c := &cells[jb.cell]
-				c.started[jb.point] = time.Now()
 				if c.sweep == nil {
+					var cs metasurface.CacheStats
+					if trackCache {
+						cs = metasurface.GlobalCacheStats()
+					}
+					c.started[jb.point] = time.Now()
 					res, err := Run(runCtx, c.id, c.seed)
 					c.elapsed[jb.point] = time.Since(c.started[jb.point])
+					if trackCache {
+						d := metasurface.GlobalCacheStats().Sub(cs)
+						c.cacheHits[jb.point], c.cacheMisses[jb.point] = d.Hits, d.Misses
+					}
 					if err != nil {
 						c.errs[jb.point] = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
 						if res != nil && len(res.Rows) > 0 {
@@ -469,15 +540,26 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 					c.done[jb.point] = true
 					continue
 				}
-				pt, err := c.sweep.Point(runCtx, c.seed, jb.point)
-				c.elapsed[jb.point] = time.Since(c.started[jb.point])
-				if err != nil {
-					c.errs[jb.point] = err
-					cancel()
-					continue
+				for p := jb.point; p < jb.point+jb.count; p++ {
+					var cs metasurface.CacheStats
+					if trackCache {
+						cs = metasurface.GlobalCacheStats()
+					}
+					c.started[p] = time.Now()
+					pt, err := c.sweep.Point(runCtx, c.seed, p)
+					c.elapsed[p] = time.Since(c.started[p])
+					if trackCache {
+						d := metasurface.GlobalCacheStats().Sub(cs)
+						c.cacheHits[p], c.cacheMisses[p] = d.Hits, d.Misses
+					}
+					if err != nil {
+						c.errs[p] = err
+						cancel()
+						break // the batch's remaining points stay unrun
+					}
+					c.points[p] = pt
+					c.done[p] = true
 				}
-				c.points[jb.point] = pt
-				c.done[jb.point] = true
 			}
 		}()
 	}
@@ -492,11 +574,15 @@ feed:
 	close(jobs)
 	wg.Wait()
 
+	cacheDelta := metasurface.GlobalCacheStats().Sub(cacheStart)
 	rep := &Report{
 		Seeds:       append([]int64(nil), seeds...),
 		Concurrency: workers,
 		Wall:        time.Since(start),
 		ShardRows:   e.ShardRows,
+		BatchRows:   batch,
+		CacheHits:   cacheDelta.Hits,
+		CacheMisses: cacheDelta.Misses,
 	}
 	// Assemble every cell in slot order (sweep reassembly, salvage,
 	// per-cell errors), then resolve the error policy deterministically:
@@ -532,11 +618,15 @@ feed:
 	for i, id := range ids {
 		var perSeed []*Result
 		var wall, busy time.Duration
+		var hits, misses uint64
 		points := 1
 		for s := range seeds {
 			c := &cells[i*len(seeds)+s]
 			wall += c.span()
 			busy += c.busy()
+			h, m := c.cacheDelta()
+			hits += h
+			misses += m
 			points = c.jobs()
 			if c.res != nil {
 				perSeed = append(perSeed, c.res)
@@ -551,6 +641,7 @@ feed:
 		rep.Timings = append(rep.Timings, Timing{
 			ID: id, Elapsed: wall, Busy: busy,
 			Rows: len(perSeed[0].Rows), Points: points,
+			CacheHits: hits, CacheMisses: misses,
 		})
 		rep.Results = append(rep.Results, perSeed[0])
 		if len(seeds) > 1 {

@@ -1,0 +1,151 @@
+package metasurface
+
+// The response cache: memoization of the per-axis circuit evaluations
+// underneath every Surface query. The physics is pure — an axis response
+// depends only on (design, axis, frequency, bias) and a QWP response only
+// on (design, frequency) — so repeated evaluations at the same operating
+// point (a bias-plane FullScan revisits each per-axis bias 21 times; the
+// QWP boards never change at all) can be computed once and shared, bit
+// for bit. The cache is transparent by construction: a miss runs exactly
+// the evaluation the uncached path runs, and a hit returns the stored
+// result of that same evaluation, so cached and uncached outputs are
+// bit-identical (determinism invariant #5 in ARCHITECTURE.md).
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats reports the lookup counters of a response cache: Hits is the
+// number of evaluations answered from memory, Misses the number computed
+// (and stored). Counters are monotone over the cache's lifetime.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// Lookups returns the total number of cache consultations.
+func (c CacheStats) Lookups() uint64 { return c.Hits + c.Misses }
+
+// HitRate returns Hits/Lookups in [0, 1]; zero for an unused cache.
+func (c CacheStats) HitRate() float64 {
+	if n := c.Lookups(); n > 0 {
+		return float64(c.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Sub returns the counter deltas c − earlier, for windowed measurements
+// over the monotone global counters.
+func (c CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{Hits: c.Hits - earlier.Hits, Misses: c.Misses - earlier.Misses}
+}
+
+// cachingOff flips the package-wide cache switch; the zero value means
+// caching is ON (the default). Stored inverted so the default needs no
+// init.
+var cachingOff atomic.Bool
+
+// Global lookup counters aggregated across every Surface in the process,
+// so harnesses (llama-bench, the experiment engine) can report cache
+// effectiveness without plumbing individual surfaces out of runners.
+var globalHits, globalMisses atomic.Uint64
+
+// SetCaching switches response caching on or off process-wide (the
+// llama-bench -cache flag, for A/B physics timing). The switch is
+// consulted per evaluation, so it can be flipped between runs; outputs
+// are bit-identical either way.
+func SetCaching(on bool) { cachingOff.Store(!on) }
+
+// CachingEnabled reports whether response caching is on.
+func CachingEnabled() bool { return !cachingOff.Load() }
+
+// GlobalCacheStats returns the process-wide response-cache counters,
+// summed over every Surface. The counters are monotone; callers wanting a
+// windowed measurement snapshot before/after and use CacheStats.Sub.
+func GlobalCacheStats() CacheStats {
+	return CacheStats{Hits: globalHits.Load(), Misses: globalMisses.Load()}
+}
+
+// ResetGlobalCacheStats zeroes the process-wide counters (test isolation).
+func ResetGlobalCacheStats() {
+	globalHits.Store(0)
+	globalMisses.Store(0)
+}
+
+// axisKey identifies one per-axis evaluation by the exact float bit
+// patterns of its operating point, so keys never alias across distinct
+// floats (and NaN/−0 edge cases stay distinct rather than colliding).
+type axisKey struct {
+	axis Axis
+	f, v uint64
+}
+
+// responseCache memoizes the per-axis and per-frequency QWP evaluations
+// of one Surface. It is safe for concurrent use: lookups take a read
+// lock, stores a write lock, and the counters are atomic. Two goroutines
+// missing on the same key both compute (the evaluation is pure, so they
+// store the same bits) — redundant work is bounded by the worker count
+// and never affects results.
+type responseCache struct {
+	mu   sync.RWMutex
+	axis map[axisKey]axisResponse
+	qwp  map[uint64]qwpResponse
+
+	hits, misses atomic.Uint64
+}
+
+// newResponseCache returns an empty cache.
+func newResponseCache() *responseCache {
+	return &responseCache{
+		axis: make(map[axisKey]axisResponse),
+		qwp:  make(map[uint64]qwpResponse),
+	}
+}
+
+// stats snapshots the cache's counters.
+func (c *responseCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// axisAt returns the memoized per-axis response, computing and storing it
+// on first use. The hit path performs no allocation.
+func (c *responseCache) axisAt(d Design, axis Axis, f, v float64) axisResponse {
+	key := axisKey{axis: axis, f: math.Float64bits(f), v: math.Float64bits(v)}
+	c.mu.RLock()
+	r, ok := c.axis[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		globalHits.Add(1)
+		return r
+	}
+	c.misses.Add(1)
+	globalMisses.Add(1)
+	r = d.axisEval(axis, f, v)
+	c.mu.Lock()
+	c.axis[key] = r
+	c.mu.Unlock()
+	return r
+}
+
+// qwpAt returns the memoized QWP response at frequency f, computing and
+// storing it on first use. The hit path performs no allocation.
+func (c *responseCache) qwpAt(d Design, f float64) qwpResponse {
+	key := math.Float64bits(f)
+	c.mu.RLock()
+	r, ok := c.qwp[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		globalHits.Add(1)
+		return r
+	}
+	c.misses.Add(1)
+	globalMisses.Add(1)
+	r = d.qwpEval(f)
+	c.mu.Lock()
+	c.qwp[key] = r
+	c.mu.Unlock()
+	return r
+}

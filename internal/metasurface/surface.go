@@ -14,12 +14,19 @@ import (
 // Surface is a buildable, biasable instance of a Design. It is immutable
 // except for the two bias voltages, making it safe to share read-only
 // across goroutines when the bias is externally synchronized (the
-// simulator's power-supply model owns bias updates).
+// simulator's power-supply model owns bias updates). Its response cache
+// is internally synchronized, so concurrent read-only queries (Jones*,
+// Efficiency, FrontReflection, …) are race-free.
 type Surface struct {
 	design Design
 
 	// biasX, biasY are the current reverse-bias voltages in volts.
 	biasX, biasY float64
+
+	// cache memoizes the pure per-axis and QWP evaluations keyed on the
+	// exact operating point; see cache.go. Results are bit-identical with
+	// the cache disabled (SetCaching).
+	cache *responseCache
 }
 
 // New builds a Surface from a validated design.
@@ -27,7 +34,12 @@ func New(d Design) (*Surface, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	return &Surface{design: d, biasX: d.MinBiasV, biasY: d.MinBiasV}, nil
+	return &Surface{
+		design: d,
+		biasX:  d.MinBiasV,
+		biasY:  d.MinBiasV,
+		cache:  newResponseCache(),
+	}, nil
 }
 
 // MustNew builds a Surface and panics on an invalid design. Intended for
@@ -57,6 +69,82 @@ func (s *Surface) Bias() (vx, vy float64) { return s.biasX, s.biasY }
 func (s *Surface) String() string {
 	return fmt.Sprintf("%s [%d units, bias %.1f/%.1f V]",
 		s.design.Name, s.design.Units(), s.biasX, s.biasY)
+}
+
+// CacheStats returns this surface's response-cache counters. Counters
+// advance only while caching is enabled (SetCaching).
+func (s *Surface) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// axisResponse is the complete per-axis physics evaluation: the front-
+// referenced S-parameters of the BFS stack (S11 and S21 from a single
+// ToS) and the reflection coefficient with the ground-plane short behind
+// it (reflective mode). One evaluation serves every Surface query.
+type axisResponse struct {
+	s          twoport.SParams
+	shortGamma complex128
+}
+
+// qwpResponse is the bias-independent per-frequency QWP evaluation: the
+// per-axis S-parameters of one board and the ±45°-rotated Jones matrices
+// built from them (Eq. 8's Q₊₄₅ and Q₋₄₅).
+type qwpResponse struct {
+	fastS, slowS twoport.SParams
+	plus, minus  mat2.Mat
+}
+
+// axisEval performs the per-axis evaluation from scratch: build the BFS
+// stack once, convert to S-parameters once, and derive the short-circuit
+// reflection from the same network. This is the single source of truth
+// the cache memoizes — the cached and uncached paths both run exactly
+// this function, which is what makes the cache transparent.
+func (d Design) axisEval(axis Axis, f, v float64) axisResponse {
+	net := d.bfsAxisNetwork(f, axis, v)
+	// Short-circuit load for the reflective deployment: Γ_in with Zin of
+	// the short-terminated network. Use a tiny but nonzero load to stay
+	// off the ABCD singularity.
+	zin := net.InputImpedance(complex(1e-6, 0))
+	return axisResponse{
+		s:          net.ToS(units.Z0FreeSpace),
+		shortGamma: twoport.ReflectionCoefficient(zin, complex(units.Z0FreeSpace, 0)),
+	}
+}
+
+// qwpEval performs the per-frequency QWP evaluation from scratch: one
+// fast-axis and one slow-axis line build, then both rotated Jones
+// matrices from the shared diagonal. Bias never enters, so the result is
+// reusable across an entire bias-plane scan.
+func (d Design) qwpEval(f float64) qwpResponse {
+	z0 := units.Z0FreeSpace
+	fastS := d.qwpAxisLine(f, false).ToS(z0)
+	slowS := d.qwpAxisLine(f, true).ToS(z0)
+	diag := mat2.Diag(fastS.S21, slowS.S21)
+	return qwpResponse{
+		fastS: fastS,
+		slowS: slowS,
+		plus:  jones.Rotated(diag, math.Pi/4),
+		minus: jones.Rotated(diag, -math.Pi/4),
+	}
+}
+
+// axisAt returns the per-axis response, through the cache when enabled.
+func (s *Surface) axisAt(axis Axis, f, v float64) axisResponse {
+	if s.cache == nil || !CachingEnabled() {
+		return s.design.axisEval(axis, f, v)
+	}
+	return s.cache.axisAt(s.design, axis, f, v)
+}
+
+// qwpAt returns the QWP response, through the cache when enabled.
+func (s *Surface) qwpAt(f float64) qwpResponse {
+	if s.cache == nil || !CachingEnabled() {
+		return s.design.qwpEval(f)
+	}
+	return s.cache.qwpAt(s.design, f)
 }
 
 // effectiveIndex returns the unloaded effective refractive index of the
@@ -163,6 +251,18 @@ func (d Design) loadedLine(f, bias float64) (zc complex128, gamma complex128) {
 	return complex(zcr, 0), complex(alpha, beta)
 }
 
+// bfsStack returns the cascaded ABCD network of all BFS layers at the
+// literal bias v (no axis offset): one layer build, then the identical
+// layers composed as a matrix power — no per-call slice, ⌈log₂n⌉
+// multiplies.
+func (d Design) bfsStack(f, v float64) twoport.ABCD {
+	zc, gamma := d.loadedLine(f, v)
+	line := twoport.TransmissionLine(zc, gamma, d.BFSPath)
+	tank := twoport.ShuntAdmittance(d.bfsTankAdmittance(f, v))
+	layer := twoport.Cascade(tank, line, tank)
+	return twoport.CascadeN(layer, d.BFSLayers)
+}
+
 // bfsAxisNetwork returns the cascaded ABCD network of all BFS layers along
 // one axis at the given bias voltage. The X axis sees the design's bias
 // offset (fabrication/assembly error, §3.3).
@@ -173,15 +273,7 @@ func (d Design) bfsAxisNetwork(f float64, axis Axis, bias float64) twoport.ABCD 
 			bias = 0
 		}
 	}
-	zc, gamma := d.loadedLine(f, bias)
-	line := twoport.TransmissionLine(zc, gamma, d.BFSPath)
-	tank := twoport.ShuntAdmittance(d.bfsTankAdmittance(f, bias))
-	layer := twoport.Cascade(tank, line, tank)
-	nets := make([]twoport.ABCD, d.BFSLayers)
-	for i := range nets {
-		nets[i] = layer
-	}
-	return twoport.Cascade(nets...)
+	return d.bfsStack(f, bias)
 }
 
 // bfsAxisPhase returns the line-only transmission phase (radians) of one
@@ -200,16 +292,9 @@ func (d Design) bfsAxisPhase(f, v float64) float64 {
 func (d Design) bfsUnwrappedPhaseDelta(f, v1, v2 float64) float64 {
 	const steps = 64
 	phaseAt := func(v float64) float64 {
-		// AxisY sees the nominal bias (no offset); build directly.
-		zc, gamma := d.loadedLine(f, v)
-		line := twoport.TransmissionLine(zc, gamma, d.BFSPath)
-		tank := twoport.ShuntAdmittance(d.bfsTankAdmittance(f, v))
-		layer := twoport.Cascade(tank, line, tank)
-		nets := make([]twoport.ABCD, d.BFSLayers)
-		for i := range nets {
-			nets[i] = layer
-		}
-		return twoport.Cascade(nets...).ToS(units.Z0FreeSpace).TransmissionPhase()
+		// AxisY sees the nominal bias (no offset); build directly through
+		// the shared stack evaluator — no per-step layer slice.
+		return d.bfsStack(f, v).ToS(units.Z0FreeSpace).TransmissionPhase()
 	}
 	total := 0.0
 	prev := phaseAt(v1)
@@ -226,33 +311,26 @@ func (d Design) bfsUnwrappedPhaseDelta(f, v1, v2 float64) float64 {
 // coefficient of one BFS principal axis at frequency f and bias v,
 // referenced to free space.
 func (s *Surface) AxisTransmission(axis Axis, f, v float64) complex128 {
-	return s.design.bfsAxisNetwork(f, axis, v).ToS(units.Z0FreeSpace).S21
+	return s.axisAt(axis, f, v).s.S21
 }
 
 // JonesTransmissive returns the Jones matrix of the whole surface in
 // transmissive mode at frequency f with the current bias: Eq. (8)'s
 // Q₊₄₅·B·Q₋₄₅ with every element taken from the circuit model.
 func (s *Surface) JonesTransmissive(f float64) mat2.Mat {
-	d := s.design
 	bfs := mat2.Diag(
-		s.AxisTransmission(AxisX, f, s.biasX),
-		s.AxisTransmission(AxisY, f, s.biasY),
+		s.axisAt(AxisX, f, s.biasX).s.S21,
+		s.axisAt(AxisY, f, s.biasY).s.S21,
 	)
-	qPlus := d.qwpJones(f, math.Pi/4)
-	qMinus := d.qwpJones(f, -math.Pi/4)
-	return qPlus.Mul(bfs).Mul(qMinus)
+	q := s.qwpAt(f)
+	return q.plus.Mul(bfs).Mul(q.minus)
 }
 
 // axisReflection returns the complex reflection coefficient of one BFS
 // axis backed by the metal ground plane (short-circuit termination), as
 // seen from the front of the BFS stack.
 func (s *Surface) axisReflection(axis Axis, f, v float64) complex128 {
-	net := s.design.bfsAxisNetwork(f, axis, v)
-	// Short-circuit load: Γ_in = (Zin − Z0)/(Zin + Z0) with Zin of the
-	// short-terminated network. Use a tiny but nonzero load to stay off
-	// the ABCD singularity.
-	zin := net.InputImpedance(complex(1e-6, 0))
-	return twoport.ReflectionCoefficient(zin, complex(units.Z0FreeSpace, 0))
+	return s.axisAt(axis, f, v).shortGamma
 }
 
 // JonesReflective returns the Jones matrix of the surface in reflective
@@ -273,22 +351,19 @@ func (s *Surface) axisReflection(axis Axis, f, v float64) complex128 {
 // interference between the two terms, and the per-axis loss asymmetry,
 // modulate the reflected amplitude.
 func (s *Surface) JonesReflective(f float64) mat2.Mat {
-	d := s.design
-	qMinus := d.qwpJones(f, -math.Pi/4)
+	q := s.qwpAt(f)
 	inner := mat2.Diag(
 		s.axisReflection(AxisX, f, s.biasX),
 		s.axisReflection(AxisY, f, s.biasY),
 	)
-	round := qMinus.Transpose().Mul(inner).Mul(qMinus)
+	round := q.minus.Transpose().Mul(inner).Mul(q.minus)
 	// Front-face specular term: reflection of the (slightly mismatched)
 	// QWP sections.
-	fastS := d.qwpAxisLine(f, false).ToS(units.Z0FreeSpace)
-	slowS := d.qwpAxisLine(f, true).ToS(units.Z0FreeSpace)
-	spec := mat2.Diag(fastS.S11, slowS.S11)
+	spec := mat2.Diag(q.fastS.S11, q.slowS.S11)
 	// Power that reflects specularly never enters the stack: derate the
 	// round trip accordingly so the two terms share the incident energy.
-	gf := cmplx.Abs(fastS.S11)
-	gs := cmplx.Abs(slowS.S11)
+	gf := cmplx.Abs(q.fastS.S11)
+	gs := cmplx.Abs(q.slowS.S11)
 	gmax := math.Max(gf, gs)
 	round = round.Scale(complex(1-gmax*gmax, 0))
 	total := round.Add(spec)
@@ -326,8 +401,8 @@ func maxSingularValue(m mat2.Mat) float64 {
 // standing-wave term that makes the optimal bias drift with link distance
 // (Fig. 15).
 func (s *Surface) FrontReflection(f float64) complex128 {
-	sx := s.design.bfsAxisNetwork(f, AxisX, s.biasX).ToS(units.Z0FreeSpace).S11
-	sy := s.design.bfsAxisNetwork(f, AxisY, s.biasY).ToS(units.Z0FreeSpace).S11
+	sx := s.axisAt(AxisX, f, s.biasX).s.S11
+	sy := s.axisAt(AxisY, f, s.biasY).s.S11
 	return (sx + sy) / 2
 }
 

@@ -52,6 +52,44 @@ func Cascade(ns ...ABCD) ABCD {
 	return ABCD{M: out}
 }
 
+// CascadeN returns n identical sections cascaded, computed by binary
+// exponentiation (matrix power) rather than a sequential chain product.
+// LLAMA's BFS stack is BFSLayers copies of one layer network, so the hot
+// evaluation path calls this instead of materializing a slice of repeats:
+// no allocation, and ⌈log₂n⌉ multiplies instead of n. n = 0 is the
+// zero-length through connection; negative n panics (a chain matrix power
+// with negative exponent would be an inverse, which cascading never
+// needs).
+func CascadeN(section ABCD, n int) ABCD {
+	if n < 0 {
+		panic("twoport: negative cascade count")
+	}
+	// Accumulate without seeding from the identity: the first set bit
+	// copies the running square directly, so CascadeN(s, 1) == s and
+	// CascadeN(s, 2) is bit-identical to Cascade(s, s).
+	var out mat2.Mat
+	have := false
+	base := section.M
+	for {
+		if n&1 == 1 {
+			if have {
+				out = out.Mul(base)
+			} else {
+				out, have = base, true
+			}
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+		base = base.Mul(base)
+	}
+	if !have {
+		return Identity()
+	}
+	return ABCD{M: out}
+}
+
 // SeriesImpedance returns the ABCD matrix of a series element with
 // impedance z:
 //

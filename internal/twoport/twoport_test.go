@@ -349,3 +349,48 @@ func TestStringOutput(t *testing.T) {
 		t.Error("empty S-params string")
 	}
 }
+
+func TestCascadeNMatchesCascade(t *testing.T) {
+	layer := Cascade(
+		ShuntAdmittance(complex(0, 0.003)),
+		TransmissionLine(complex(340, 0), complex(1.2, 55), 0.023),
+		ShuntAdmittance(complex(0, 0.003)),
+	)
+	// n = 0 and n = 1 are the trivial identities.
+	if got := CascadeN(layer, 0); got.M != Identity().M {
+		t.Errorf("CascadeN(s, 0) = %v, want identity", got.M)
+	}
+	if got := CascadeN(layer, 1); got.M != layer.M {
+		t.Errorf("CascadeN(s, 1) altered the section")
+	}
+	// n = 2 is a single square — bit-identical to the explicit product.
+	if got, want := CascadeN(layer, 2), layer.M.Mul(layer.M); got.M != want {
+		t.Errorf("CascadeN(s, 2) = %v, want %v", got.M, want)
+	}
+	// Larger n re-associates the product (that's the point), so compare
+	// against the sequential chain within float tolerance.
+	for _, n := range []int{3, 4, 5, 8, 13} {
+		ns := make([]ABCD, n)
+		for i := range ns {
+			ns[i] = layer
+		}
+		want := Cascade(ns...)
+		got := CascadeN(layer, n)
+		scale := want.M.MaxAbs()
+		if d := got.M.Sub(want.M).MaxAbs(); d > 1e-9*scale {
+			t.Errorf("CascadeN(s, %d) differs from chain product by %g (scale %g)", n, d, scale)
+		}
+		if !got.IsReciprocal(1e-6 * scale * scale) {
+			t.Errorf("CascadeN(s, %d) broke reciprocity", n)
+		}
+	}
+}
+
+func TestCascadeNPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cascade count should panic")
+		}
+	}()
+	CascadeN(Identity(), -1)
+}

@@ -111,6 +111,24 @@ func BuildSurface(d Design) (*Surface, error) {
 	return metasurface.New(d)
 }
 
+// CacheStats reports response-cache hit/miss counters: per surface via
+// Surface.CacheStats, process-wide via GlobalCacheStats.
+type CacheStats = metasurface.CacheStats
+
+// SetCaching switches the metasurface response cache on or off
+// process-wide (on by default). Outputs are bit-identical either way —
+// the cache memoizes pure physics evaluations — so disabling it is only
+// useful for A/B timing of the uncached kernels.
+func SetCaching(on bool) { metasurface.SetCaching(on) }
+
+// CachingEnabled reports whether the response cache is on.
+func CachingEnabled() bool { return metasurface.CachingEnabled() }
+
+// GlobalCacheStats returns the process-wide response-cache counters
+// aggregated across every surface (monotone; snapshot and subtract for
+// windowed measurements).
+func GlobalCacheStats() CacheStats { return metasurface.GlobalCacheStats() }
+
 // Absorber returns the paper's controlled environment (no multipath).
 func Absorber() Environment { return channel.Absorber() }
 
@@ -187,6 +205,10 @@ func (l *Loop) BaselineDBm() float64 { return l.sys.BaselineDBm() }
 // ElapsedVirtual returns the virtual time consumed so far (sweep pacing
 // at the supply's 50 Hz switch limit).
 func (l *Loop) ElapsedVirtual() time.Duration { return l.sys.Clock.Now() }
+
+// CacheStats returns the deployed surface's response-cache counters:
+// how much of the loop's sweep physics was answered from memory.
+func (l *Loop) CacheStats() CacheStats { return l.sys.CacheStats() }
 
 // NetworkedLoop is the closed loop running over real loopback sockets:
 // SCPI/TCP to the supply, binary UDP telemetry from the receiver.
