@@ -156,6 +156,50 @@ func TestReportCarriesCacheStats(t *testing.T) {
 	}
 }
 
+// TestMultiWorkerCacheUnattributed: per-experiment cache counters cannot
+// be measured when jobs interleave across workers — the report must then
+// say "unattributed" in the rendered summary rather than leaving
+// misleading zeros, while the run-wide totals stay exact.
+func TestMultiWorkerCacheUnattributed(t *testing.T) {
+	metasurface.ResetGlobalCacheStats()
+	rep, err := Execute(context.Background(),
+		Options{IDs: []string{"fig16"}, Concurrency: 2, ShardRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Concurrency != 2 {
+		t.Fatalf("resolved concurrency = %d, want 2", rep.Concurrency)
+	}
+	if rep.CacheHits+rep.CacheMisses == 0 {
+		t.Fatal("run-wide cache totals empty")
+	}
+	for _, tm := range rep.Timings {
+		if tm.CacheHits != 0 || tm.CacheMisses != 0 {
+			t.Errorf("%s: multi-worker run attributed cache counters %d/%d", tm.ID, tm.CacheHits, tm.CacheMisses)
+		}
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unattributed (2 workers)") {
+		t.Errorf("render does not flag unattributed per-experiment counters:\n%s", sb.String())
+	}
+
+	// Single-worker runs attribute exactly and must NOT carry the flag.
+	rep, err = Execute(context.Background(), Options{IDs: []string{"fig16"}, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "unattributed") {
+		t.Errorf("single-worker render wrongly flags unattributed:\n%s", sb.String())
+	}
+}
+
 // TestBatchRowsRecordedInReport: the report and its rendering reflect the
 // batch size used.
 func TestBatchRowsRecordedInReport(t *testing.T) {

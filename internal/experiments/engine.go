@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/store"
 )
 
 // Engine executes registered experiments concurrently across a bounded
@@ -45,6 +46,18 @@ type Engine struct {
 	// with many cheap points. ≤1 means one point per job. Collection
 	// stays slot-indexed per point, so output is unchanged.
 	BatchRows int
+	// Store, when non-nil, persists every freshly computed (experiment,
+	// seed) cell after the run — including completed cells of a run that
+	// failed elsewhere, so partial progress survives restarts.
+	Store *store.Store
+	// Resume makes the run consult Store before queueing each cell: a
+	// cell with a valid stored record is reused instead of recomputed,
+	// and the union of stored + fresh per-seed tables folds into the
+	// same Results/Replicated output a fresh run would produce,
+	// bit-identically (determinism invariant 6). Cells whose records are
+	// missing, corrupt, schema-mismatched or shaped unlike the current
+	// sweep are recomputed (and re-persisted), never fatal.
+	Resume bool
 }
 
 // Timing records one experiment's cost, summed across seeds when the run
@@ -66,9 +79,13 @@ type Timing struct {
 	Points int
 	// CacheHits and CacheMisses are the metasurface response-cache
 	// lookups attributed to this experiment's jobs. The counters are
-	// process-global, so per-experiment attribution is measured only on
-	// single-worker runs (no interleaving); wider pools leave them zero
-	// and rely on the run-wide totals in Report.
+	// process-global, so per-experiment attribution is measurable only
+	// on single-worker runs, where exactly one job executes at a time.
+	// Multi-worker runs interleave jobs and CANNOT attribute lookups to
+	// an experiment: these fields are then zero — meaning "unattributed",
+	// not "no lookups" — and only the run-wide totals in Report are
+	// exact. Report.Render says so explicitly instead of printing the
+	// misleading zeros.
 	CacheHits, CacheMisses uint64
 }
 
@@ -104,6 +121,18 @@ type Report struct {
 	CacheHits, CacheMisses uint64
 	// BatchRows records the per-job point batch size the run used.
 	BatchRows int
+	// ReusedCells counts the (experiment, seed) cells answered from the
+	// results store instead of recomputed (resume runs only), and
+	// ComputedCells the cells computed fresh this run.
+	ReusedCells, ComputedCells int
+	// PersistedCells counts the freshly computed cells written to the
+	// results store.
+	PersistedCells int
+	// StoreWarnings lists the stored records that existed but could not
+	// be reused (corrupt, truncated, schema-mismatched, or shaped unlike
+	// the current sweep), each naming the experiment, seed and file.
+	// Those cells were recomputed.
+	StoreWarnings []string
 }
 
 // Render writes the timing summary as an aligned text table. Sharded
@@ -142,8 +171,24 @@ func (rep *Report) Render(w io.Writer) error {
 		sb.WriteByte('\n')
 	}
 	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
-		fmt.Fprintf(&sb, "cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		fmt.Fprintf(&sb, "cache: %d hits / %d misses (%.1f%% hit rate)",
 			rep.CacheHits, rep.CacheMisses, 100*float64(rep.CacheHits)/float64(n))
+		if rep.Concurrency > 1 {
+			// The global counters cannot be split per experiment when
+			// jobs interleave; say so rather than leaving per-line zeros
+			// that read as "no lookups".
+			fmt.Fprintf(&sb, "; per-experiment: unattributed (%d workers)", rep.Concurrency)
+		}
+		sb.WriteByte('\n')
+	}
+	if rep.ReusedCells > 0 || rep.PersistedCells > 0 || len(rep.StoreWarnings) > 0 {
+		fmt.Fprintf(&sb, "store: reused %d cell(s), recomputed %d, persisted %d\n",
+			rep.ReusedCells, rep.ComputedCells, rep.PersistedCells)
+	}
+	for _, warn := range rep.StoreWarnings {
+		// Warnings already carry their "store:"/"experiments:" context;
+		// prefix only the severity.
+		fmt.Fprintf(&sb, "warning: %s\n", warn)
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -227,13 +272,32 @@ type Options struct {
 	// BatchRows groups that many consecutive sweep points per sharded
 	// job (≤1 = one point per job); see Engine.BatchRows.
 	BatchRows int
+	// StoreDir, when non-empty, opens (creating if needed) a durable
+	// results store there and persists every freshly computed
+	// (experiment, seed) cell into it.
+	StoreDir string
+	// Resume reuses valid records already in StoreDir instead of
+	// recomputing their cells; missing, corrupt or shape-mismatched
+	// records are recomputed and re-persisted. Output is bit-identical
+	// to a fresh run. Requires StoreDir.
+	Resume bool
 }
 
 // Execute runs opts through an Engine and returns the combined report.
 // On failure the report carries whatever completed, and the error names
 // the experiment, seed and (for sharded sweeps) point that failed.
 func Execute(ctx context.Context, opts Options) (*Report, error) {
-	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs, ShardRows: opts.ShardRows, BatchRows: opts.BatchRows}
+	e := &Engine{Concurrency: opts.Concurrency, IDs: opts.IDs, ShardRows: opts.ShardRows, BatchRows: opts.BatchRows, Resume: opts.Resume}
+	if opts.Resume && opts.StoreDir == "" {
+		return nil, errors.New("experiments: Resume requires StoreDir")
+	}
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		e.Store = st
+	}
 	seeds := opts.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -323,6 +387,10 @@ func (e *Engine) workers(n int) int {
 type cellRun struct {
 	id   string
 	seed int64
+	// loaded marks a cell answered from the results store on a resume
+	// run: res was decoded from its record, no jobs were queued, and it
+	// is skipped by assembly and re-persistence.
+	loaded bool
 	// sweep is non-nil when the cell runs as per-point row jobs.
 	sweep *Sweep
 	// Per-job slots: one entry for a whole-experiment cell, Points
@@ -469,9 +537,25 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 	cells := make([]cellRun, 0, len(ids)*len(seeds))
 	type job struct{ cell, point, count int }
 	var queue []job
+	var storeWarns []string
+	reused := 0
 	for _, id := range ids {
 		for _, seed := range seeds {
 			c := cellRun{id: id, seed: seed}
+			if e.Resume && e.Store != nil {
+				// A valid stored record stands in for the whole cell: no
+				// jobs are queued and res is the decoded table, so
+				// aggregation folds stored and fresh seeds identically.
+				if res, warn, ok := e.loadStored(id, seed); ok {
+					c.loaded = true
+					c.res = res
+					cells = append(cells, c)
+					reused++
+					continue
+				} else if warn != "" {
+					storeWarns = append(storeWarns, warn)
+				}
+			}
 			if e.ShardRows {
 				c.sweep = sweeps[id]
 			}
@@ -613,6 +697,52 @@ feed:
 		}
 	}
 
+	// Persist every freshly computed cell — including completed cells of
+	// a run that failed elsewhere, so partial progress survives and a
+	// later -resume recomputes only what is actually missing. A write
+	// failure names its cell and always surfaces — as the run error when
+	// nothing else failed first, and as a store warning regardless, so a
+	// compute failure can never mask it — but never discards the
+	// in-memory results.
+	persisted := 0
+	if e.Store != nil {
+		for ci := range cells {
+			c := &cells[ci]
+			if c.loaded || c.res == nil {
+				continue
+			}
+			h, m := c.cacheDelta()
+			rec := storeRecord(c.res, c.seed, store.Meta{
+				Concurrency: workers, ShardRows: e.ShardRows, BatchRows: batch,
+				CacheHits: h, CacheMisses: m, ElapsedNs: int64(c.busy()),
+			})
+			if err := e.Store.Put(rec); err != nil {
+				err = fmt.Errorf("experiments: %s (seed %d): persisting result: %w", c.id, c.seed, err)
+				storeWarns = append(storeWarns, err.Error())
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			persisted++
+		}
+		if err := e.Store.Sync(); err != nil {
+			err = fmt.Errorf("experiments: syncing store manifest: %w", err)
+			storeWarns = append(storeWarns, err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	rep.PersistedCells = persisted
+	rep.ReusedCells = reused
+	rep.StoreWarnings = storeWarns
+	for ci := range cells {
+		if !cells[ci].loaded && cells[ci].res != nil {
+			rep.ComputedCells++
+		}
+	}
+
 	// Report assembly in slot order; on failure keep completed cells (and
 	// salvaged sweep prefixes) so callers can recover partial output.
 	for i, id := range ids {
@@ -620,6 +750,17 @@ feed:
 		var wall, busy time.Duration
 		var hits, misses uint64
 		points := 1
+		// An experiment row missing any seed is excluded from the report
+		// proper, but its completed seeds must not vanish: a failure in
+		// one seed's cell salvages the siblings' complete tables
+		// alongside any failed cell's contiguous prefix.
+		incomplete := false
+		for s := range seeds {
+			if cells[i*len(seeds)+s].res == nil {
+				incomplete = true
+				break
+			}
+		}
 		for s := range seeds {
 			c := &cells[i*len(seeds)+s]
 			wall += c.span()
@@ -627,16 +768,22 @@ feed:
 			h, m := c.cacheDelta()
 			hits += h
 			misses += m
-			points = c.jobs()
+			if c.jobs() > points {
+				points = c.jobs()
+			}
 			if c.res != nil {
-				perSeed = append(perSeed, c.res)
+				if incomplete {
+					rep.Salvaged = append(rep.Salvaged, c.res)
+				} else {
+					perSeed = append(perSeed, c.res)
+				}
 			}
 			if c.partial != nil && len(c.partial.Rows) > 0 {
 				rep.Salvaged = append(rep.Salvaged, c.partial)
 			}
 		}
-		if len(perSeed) < len(seeds) {
-			continue // incomplete cell row: excluded from the report
+		if incomplete {
+			continue // incomplete experiment row: excluded from the report
 		}
 		rep.Timings = append(rep.Timings, Timing{
 			ID: id, Elapsed: wall, Busy: busy,

@@ -1,0 +1,204 @@
+package experiments
+
+// Regression coverage for mid-batch failure salvage: whatever the batch
+// size, worker count, or completion order, Report.Salvaged must carry
+// only contiguous completed row prefixes — a failure inside one batch
+// while later batches have already completed must not punch holes into
+// (or zero-fill) the salvaged table — and a failure in one seed's cell
+// must not discard sibling seeds' complete tables. Run under -race in
+// CI.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBatchedSalvageLaterBatchesComplete is the adversarial ordering for
+// batched salvage: batch [3..5]'s point 4 fails only after the last
+// batch [6..8] has fully completed on another worker, so the done flags
+// are non-contiguous at failure time. The salvaged table must still be
+// exactly points 0..3 — no holes, no zero-filled rows from the
+// never-run point 5.
+func TestBatchedSalvageLaterBatchesComplete(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	done := map[int]bool{}
+	lastBatchDone := make(chan struct{})
+	s := countingSweep("zz-latebatch", 9)
+	inner := s.Point
+	s.Point = func(ctx context.Context, seed int64, i int) (PointResult, error) {
+		if i == 4 {
+			<-lastBatchDone
+			return PointResult{}, boom
+		}
+		pt, err := inner(ctx, seed, i)
+		mu.Lock()
+		done[i] = true
+		if done[6] && done[7] && done[8] {
+			select {
+			case <-lastBatchDone:
+			default:
+				close(lastBatchDone)
+			}
+		}
+		mu.Unlock()
+		return pt, err
+	}
+	tempSweep(t, s)
+
+	eng := &Engine{Concurrency: 8, ShardRows: true, BatchRows: 3, IDs: []string{"zz-latebatch"}}
+	rep, err := eng.Collect(context.Background(), 7)
+	if err == nil {
+		t.Fatal("mid-batch failure not reported")
+	}
+	for _, want := range []string{"zz-latebatch", "seed 7", "point 4/9", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err %q does not name %q", err, want)
+		}
+	}
+	if len(rep.Salvaged) != 1 {
+		t.Fatalf("salvage = %d tables, want 1", len(rep.Salvaged))
+	}
+	rows := rep.Salvaged[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("salvaged %d rows, want the 4-point prefix: %v", len(rows), rows)
+	}
+	for i, row := range rows {
+		if row[0] != float64(i) || row[1] != 7 {
+			t.Fatalf("salvaged row %d = %v, want [%d 7] — hole or zero-filled row", i, row, i)
+		}
+	}
+}
+
+// TestBatchedFailureKeepsSiblingSeeds: a mid-batch failure in one seed's
+// cell must not throw away a sibling seed's fully completed table — the
+// report salvages both the complete sibling and the failed cell's
+// contiguous prefix, at 1 and 8 workers.
+func TestBatchedFailureKeepsSiblingSeeds(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			boom := errors.New("boom")
+			var seed1Done atomic.Int32
+			seed1Complete := make(chan struct{})
+			id := fmt.Sprintf("zz-sibling%d", workers)
+			s := countingSweep(id, 9)
+			inner := s.Point
+			s.Point = func(ctx context.Context, seed int64, i int) (PointResult, error) {
+				if seed == 2 && i == 3 {
+					// Fail only after seed 1's cell fully completed, so the
+					// sibling's table deterministically exists.
+					<-seed1Complete
+					return PointResult{}, boom
+				}
+				pt, err := inner(ctx, seed, i)
+				if seed == 1 && err == nil && seed1Done.Add(1) == 9 {
+					close(seed1Complete)
+				}
+				return pt, err
+			}
+			tempSweep(t, s)
+
+			eng := &Engine{Concurrency: workers, ShardRows: true, BatchRows: 3, IDs: []string{id}}
+			rep, err := eng.run(context.Background(), []int64{1, 2})
+			if err == nil {
+				t.Fatal("mid-batch failure not reported")
+			}
+			for _, want := range []string{id, "seed 2", "point 3/9", "boom"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("err %q does not name %q", err, want)
+				}
+			}
+			if len(rep.Results) != 0 {
+				t.Errorf("failed experiment row still produced %d full results", len(rep.Results))
+			}
+			if len(rep.Salvaged) != 2 {
+				t.Fatalf("salvage = %d tables, want seed 1's complete table + seed 2's prefix", len(rep.Salvaged))
+			}
+			complete, prefix := rep.Salvaged[0], rep.Salvaged[1]
+			if len(complete.Rows) != 9 {
+				t.Fatalf("sibling seed's table = %d rows, want all 9", len(complete.Rows))
+			}
+			for i, row := range complete.Rows {
+				if row[0] != float64(i) || row[1] != 1 {
+					t.Fatalf("sibling row %d = %v, want [%d 1]", i, row, i)
+				}
+			}
+			if len(complete.Notes) != 1 {
+				t.Errorf("sibling table lost its Finish note: %v", complete.Notes)
+			}
+			if len(prefix.Rows) != 3 {
+				t.Fatalf("failed cell salvaged %d rows, want the 3-point prefix: %v", len(prefix.Rows), prefix.Rows)
+			}
+			for i, row := range prefix.Rows {
+				if row[0] != float64(i) || row[1] != 2 {
+					t.Fatalf("salvaged row %d = %v, want [%d 2] — hole or zero-filled row", i, row, i)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedSalvageContiguousStress sweeps failure position × batch
+// size × worker count (with and without points that park on ctx until
+// fail-fast cancellation) and asserts every salvaged table is a
+// contiguous prefix of the serial table — multi-row points included.
+func TestBatchedSalvageContiguousStress(t *testing.T) {
+	boom := errors.New("boom")
+	for _, points := range []int{5, 9} {
+		for failAt := 0; failAt < points; failAt++ {
+			for _, batch := range []int{2, 3} {
+				for _, workers := range []int{1, 8} {
+					for _, park := range []bool{false, true} {
+						id := fmt.Sprintf("zz-st-%d-%d-%d-%d-%v", points, failAt, batch, workers, park)
+						s := &Sweep{
+							ID: id, Description: "stress", Title: "stress",
+							Columns: []string{"a", "b"},
+							Points:  points,
+						}
+						s.Point = func(ctx context.Context, seed int64, i int) (PointResult, error) {
+							if i == failAt {
+								return PointResult{}, boom
+							}
+							if park && i > failAt {
+								<-ctx.Done()
+								return PointResult{}, ctx.Err()
+							}
+							return PointResult{Rows: [][]float64{
+								{float64(i), float64(seed)},
+								{float64(i) + 0.5, float64(seed)},
+							}}, nil
+						}
+						tempSweep(t, s)
+						eng := &Engine{Concurrency: workers, ShardRows: true, BatchRows: batch, IDs: []string{id}}
+						rep, err := eng.Collect(context.Background(), 3)
+						if err == nil {
+							t.Fatalf("%s: no error", id)
+						}
+						for _, sv := range rep.Salvaged {
+							if len(sv.Rows)%2 != 0 {
+								t.Fatalf("%s: point split across salvage boundary: %v", id, sv.Rows)
+							}
+							for ri, row := range sv.Rows {
+								want := float64(ri / 2)
+								if ri%2 == 1 {
+									want += 0.5
+								}
+								if row[0] != want || row[1] != 3 {
+									t.Fatalf("%s: salvage row %d = %v, want [%v 3] — non-contiguous", id, ri, row, want)
+								}
+							}
+							if len(sv.Rows)/2 > failAt {
+								t.Fatalf("%s: salvaged %d points past the failure at %d", id, len(sv.Rows)/2, failAt)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

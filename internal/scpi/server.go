@@ -20,7 +20,8 @@ type Server struct {
 	tree *Tree
 
 	// IdleTimeout closes connections with no traffic; instruments drop
-	// stale sessions the same way.
+	// stale sessions the same way. Zero or negative means sessions never
+	// expire (no read deadline is armed).
 	IdleTimeout time.Duration
 
 	mu       sync.Mutex
@@ -91,10 +92,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	r.Buffer(make([]byte, 4096), 64*1024)
 	w := bufio.NewWriter(conn)
 	for {
+		// A zero/negative IdleTimeout must clear the deadline, not arm one
+		// in the past that would expire the session instantly — and must
+		// also undo a deadline armed on an earlier iteration if the field
+		// was zeroed mid-session.
+		var deadline time.Time
 		if s.IdleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
-				return
-			}
+			deadline = time.Now().Add(s.IdleTimeout)
+		}
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			return
 		}
 		if !r.Scan() {
 			return
@@ -146,8 +153,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
-	// Timeout bounds each Query round trip.
+	// Timeout bounds each Send write and Query round trip. Zero or
+	// negative means no deadline: operations block until the peer
+	// responds or the connection dies.
 	Timeout time.Duration
+}
+
+// opDeadline resolves the absolute deadline for one client operation; a
+// non-positive Timeout yields the zero time, which net.Conn treats as
+// "no deadline" (and clears any deadline a previous operation armed).
+func (c *Client) opDeadline() time.Time {
+	if c.Timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.Timeout)
 }
 
 // Dial connects to an SCPI server.
@@ -165,7 +184,7 @@ func (c *Client) Send(cmd string) error {
 	if strings.Contains(cmd, "?") {
 		return fmt.Errorf("scpi: Send called with query %q; use Query", cmd)
 	}
-	if err := c.conn.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+	if err := c.conn.SetWriteDeadline(c.opDeadline()); err != nil {
 		return err
 	}
 	_, err := c.conn.Write([]byte(cmd + "\n"))
@@ -180,8 +199,7 @@ func (c *Client) Query(cmd string) (string, error) {
 	if !strings.Contains(cmd, "?") {
 		return "", fmt.Errorf("scpi: Query called with non-query %q; use Send", cmd)
 	}
-	deadline := time.Now().Add(c.Timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	if err := c.conn.SetDeadline(c.opDeadline()); err != nil {
 		return "", err
 	}
 	if _, err := c.conn.Write([]byte(cmd + "\n")); err != nil {

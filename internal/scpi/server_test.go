@@ -235,6 +235,101 @@ func TestConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+// TestZeroIdleTimeoutNeverExpires: IdleTimeout 0 means "no deadline" —
+// the session must survive an idle window far longer than the deadline a
+// naive time.Now().Add(0) would have armed (which expires instantly).
+func TestZeroIdleTimeoutNeverExpires(t *testing.T) {
+	supply := psu.New()
+	clock := &virtualClock{}
+	tree := NewTree()
+	Bind(tree, supply, clock.Now)
+	srv := NewServer(tree)
+	srv.IdleTimeout = 0
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("*IDN?"); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // idle across what a past deadline would kill
+	if _, err := c.Query("*IDN?"); err != nil {
+		t.Fatalf("query after idle window: zero-IdleTimeout session expired: %v", err)
+	}
+}
+
+// TestPositiveIdleTimeoutStillExpires: the zero-means-forever fix must
+// not disarm real idle timeouts — a stale session is still dropped.
+func TestPositiveIdleTimeoutStillExpires(t *testing.T) {
+	supply := psu.New()
+	clock := &virtualClock{}
+	tree := NewTree()
+	Bind(tree, supply, clock.Now)
+	srv := NewServer(tree)
+	srv.IdleTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("*IDN?"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // well past the idle window
+	c.Timeout = 500 * time.Millisecond
+	if _, err := c.Query("*IDN?"); err == nil {
+		t.Fatal("session survived 6× the idle timeout")
+	}
+}
+
+// TestClientZeroTimeout: a Client with Timeout 0 must treat it as "no
+// deadline" — Send and Query work instead of failing on a deadline
+// armed in the past. Also exercises clearing: a previous operation's
+// positive deadline must not leak into a later zero-timeout operation.
+func TestClientZeroTimeout(t *testing.T) {
+	c, _, _ := startInstrument(t)
+	// Arm a real deadline first so the zero-timeout path must clear it.
+	c.Timeout = time.Second
+	if _, err := c.Query("*IDN?"); err != nil {
+		t.Fatal(err)
+	}
+	c.Timeout = 0
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Send("INST:SEL CH1"); err != nil {
+		t.Fatalf("Send with zero timeout: %v", err)
+	}
+	idn, err := c.Query("*IDN?")
+	if err != nil {
+		t.Fatalf("Query with zero timeout: %v", err)
+	}
+	if !strings.Contains(idn, "2230G") {
+		t.Errorf("IDN = %q", idn)
+	}
+}
+
 func TestShutdownUnblocksClients(t *testing.T) {
 	c, _, _ := startInstrument(t)
 	// Shutdown happens in cleanup; just verify a query works before.

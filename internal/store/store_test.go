@@ -1,0 +1,326 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleRecord builds a record whose cells cover every float64 shape the
+// tables can contain: finite, non-representable fractions, denormals,
+// negative zero, NaN and both infinities.
+func sampleRecord(id string, seed int64) (*Record, [][]float64) {
+	rows := [][]float64{
+		{1.0 / 3.0, -0.0, 5e-324},
+		{math.NaN(), math.Inf(1), math.Inf(-1)},
+		{1e300, -2.5, 0.1 + 0.2},
+	}
+	return &Record{
+		ID: id, Seed: seed, Title: "round trip",
+		Columns: []string{"a", "b", "c"},
+		Rows:    EncodeRows(rows),
+		Notes:   []string{"a note"},
+		Meta:    Meta{Concurrency: 4, ShardRows: true, BatchRows: 2, ElapsedNs: 12345},
+	}, rows
+}
+
+// TestRoundTripBitExact: Put then Get must reproduce every cell's exact
+// bit pattern, NaN and ±Inf included.
+func TestRoundTripBitExact(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rows := sampleRecord("fig99", 7)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("fig99", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.Title != "round trip" || len(got.Notes) != 1 {
+		t.Errorf("record header mangled: %+v", got)
+	}
+	dec, err := got.DecodeRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(dec), len(rows))
+	}
+	for ri := range rows {
+		for ci := range rows[ri] {
+			if math.Float64bits(dec[ri][ci]) != math.Float64bits(rows[ri][ci]) {
+				t.Errorf("cell [%d][%d]: bits %x != %x (value %v vs %v)",
+					ri, ci, math.Float64bits(dec[ri][ci]), math.Float64bits(rows[ri][ci]),
+					dec[ri][ci], rows[ri][ci])
+			}
+		}
+	}
+}
+
+// TestRecordIsSingleJSONLLine: the on-disk record is one self-describing
+// JSONL line, and the manifest lists it.
+func TestRecordIsSingleJSONLLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := sampleRecord("tab9", 3)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(rec.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 || !strings.HasSuffix(string(data), "\n") {
+		t.Errorf("record is not a single JSONL line (%d newlines)", n)
+	}
+	for _, want := range []string{`"schema":1`, `"id":"tab9"`, `"seed":3`, `"columns"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("record not self-describing, missing %s in %s", want, data)
+		}
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "index.jsonl"))
+	if err != nil {
+		t.Fatalf("no index written: %v", err)
+	}
+	if !strings.Contains(string(idx), `"id":"tab9"`) {
+		t.Errorf("index does not list the record: %s", idx)
+	}
+}
+
+// TestGetNotFound: a missing cell is a *NotFoundError, distinguishable
+// from corruption.
+func TestGetNotFound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("fig1", 1)
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		t.Error("missing record misreported as corrupt")
+	}
+}
+
+// TestTruncatedRecordIsCorrupt: a half-written record surfaces as a
+// *CorruptError naming the experiment, seed and path — never a panic.
+func TestTruncatedRecordIsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := sampleRecord("fig5", 2)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(rec.Path)
+	if err := os.WriteFile(rec.Path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("fig5", 2)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CorruptError", err)
+	}
+	if ce.ID != "fig5" || ce.Seed != 2 || ce.Path != rec.Path {
+		t.Errorf("corrupt error does not name the cell: %+v", ce)
+	}
+	for _, want := range []string{"fig5", "seed 2", rec.Path} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestSchemaMismatchIsCorrupt: a record from a different format version
+// must be rejected, not misparsed.
+func TestSchemaMismatchIsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := sampleRecord("fig7", 4)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(rec.Path)
+	mangled := strings.Replace(string(data), `"schema":1`, `"schema":99`, 1)
+	if mangled == string(data) {
+		t.Fatal("failed to mangle schema version")
+	}
+	if err := os.WriteFile(rec.Path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("fig7", 4)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("err = %v, want CorruptError naming the schema version", err)
+	}
+}
+
+// TestMislabelledRecordIsCorrupt: a record whose body claims a different
+// cell than its filename must not be served.
+func TestMislabelledRecordIsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := sampleRecord("figA", 1)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Copy figA's bytes into figB's slot.
+	data, _ := os.ReadFile(rec.Path)
+	if err := os.WriteFile(s.CellPath("figB", 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("figB", 1)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(err.Error(), "labelled figA") {
+		t.Fatalf("err = %v, want CorruptError naming the mislabel", err)
+	}
+}
+
+// TestReopenRebuildsManifest: a reopened store sees earlier records; a
+// deleted index file is rebuilt rather than fatal.
+func TestReopenRebuildsManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		rec, _ := sampleRecord("fig3", seed)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "index.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("reopened store Len = %d, want 3", s2.Len())
+	}
+	if _, err := s2.Get("fig3", 2); err != nil {
+		t.Fatalf("reopened store lost a record: %v", err)
+	}
+}
+
+// TestPutOverwrites: re-putting a cell replaces the old record (the
+// resume path re-persists recomputed cells over corrupt ones).
+func TestPutOverwrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := sampleRecord("fig8", 5)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := &Record{ID: "fig8", Seed: 5, Title: "v2", Columns: []string{"x"}, Rows: EncodeRows([][]float64{{42}})}
+	if err := s.Put(rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("fig8", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "v2" || len(got.Columns) != 1 || s.Len() != 1 {
+		t.Errorf("overwrite failed: %+v (len %d)", got, s.Len())
+	}
+}
+
+// TestIDEscaping: experiment IDs with path-hostile characters stay inside
+// the cells directory.
+func TestIDEscaping(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "../evil/..id"
+	rec := &Record{ID: id, Seed: 1, Columns: []string{"x"}, Rows: EncodeRows([][]float64{{1}})}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(rec.Path) != filepath.Join(dir, "cells") {
+		t.Fatalf("record escaped the cells directory: %s", rec.Path)
+	}
+	if _, err := s.Get(id, 1); err != nil {
+		t.Fatalf("escaped ID not retrievable: %v", err)
+	}
+}
+
+// TestPutRejectsBadArity: a record whose rows disagree with its columns
+// never reaches disk.
+func TestPutRejectsBadArity(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{ID: "x", Seed: 1, Columns: []string{"a", "b"}, Rows: [][]string{{"1"}}}
+	if err := s.Put(rec); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("err = %v, want arity error", err)
+	}
+}
+
+// TestSyncBatchesManifestWrites: Put defers the manifest; one Sync
+// flushes every pending entry, and a Sync with nothing pending is a
+// no-op that never errors.
+func TestSyncBatchesManifestWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rec, _ := sampleRecord("figS", seed)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("manifest written before Sync: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "index.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(idx), `"id":"figS"`); n != 4 {
+		t.Errorf("manifest lists %d records, want 4:\n%s", n, idx)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("idempotent Sync errored: %v", err)
+	}
+}
+
+// TestOpenEmptyDir rejects the degenerate configuration loudly.
+func TestOpenEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") should fail")
+	}
+}

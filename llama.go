@@ -259,7 +259,11 @@ type ExperimentResult = experiments.Result
 // ExperimentOptions selects which experiments to run, across which
 // replication seeds, how wide the worker pool fans out, and whether each
 // experiment's sweep rows shard into per-point jobs (ShardRows) so a
-// single experiment can saturate the pool on its own.
+// single experiment can saturate the pool on its own. StoreDir persists
+// every computed (experiment, seed) table into a durable results store;
+// Resume reuses valid stored cells so a later run with a grown seed set
+// recomputes only the missing seeds — output stays bit-identical to a
+// fresh run either way.
 type ExperimentOptions = experiments.Options
 
 // ExperimentReport is the outcome of an engine run: per-seed tables in
