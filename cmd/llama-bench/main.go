@@ -70,31 +70,6 @@ func main() {
 		defer cancel()
 	}
 
-	emit := func(res *experiments.Result) error {
-		switch *format {
-		case "text":
-			return res.Render(os.Stdout)
-		case "csv":
-			return res.WriteCSV(os.Stdout)
-		case "json":
-			return res.WriteJSON(os.Stdout)
-		default:
-			return fmt.Errorf("unknown format %q (want text, csv or json)", *format)
-		}
-	}
-	emitReplicated := func(res *experiments.ReplicatedResult) error {
-		switch *format {
-		case "text":
-			return res.Render(os.Stdout)
-		case "csv":
-			return res.WriteCSV(os.Stdout)
-		case "json":
-			return res.WriteJSON(os.Stdout)
-		default:
-			return fmt.Errorf("unknown format %q (want text, csv or json)", *format)
-		}
-	}
-
 	switch {
 	case *list:
 		for _, id := range experiments.IDs() {
@@ -125,30 +100,10 @@ func main() {
 		}
 		// Emit whatever completed even when the run failed, so a late
 		// failure doesn't throw away computed tables; then report which
-		// experiment broke.
-		emitted := 0
-		var emitErr error
-		if len(rep.Replicated) > 0 {
-			for _, res := range rep.Replicated {
-				if err := emitReplicated(res); err != nil {
-					emitErr = fmt.Errorf("emitting %s (after %d of %d tables): %w",
-						res.ID, emitted, len(rep.Replicated), err)
-					break
-				}
-				emitted++
-				fmt.Println()
-			}
-		} else {
-			for _, res := range rep.Results {
-				if err := emit(res); err != nil {
-					emitErr = fmt.Errorf("emitting %s (after %d of %d tables): %w",
-						res.ID, emitted, len(rep.Results), err)
-					break
-				}
-				emitted++
-				fmt.Println()
-			}
-		}
+		// experiment broke. WriteTables is the same renderer llama-serve
+		// uses, so CLI stdout and service responses carry identical bytes
+		// for identical specs (determinism invariant 7).
+		emitErr := rep.WriteTables(os.Stdout, *format)
 		if err := rep.Render(os.Stderr); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,107 @@
+// Command llama-serve is the long-lived experiment service: an
+// HTTP/JSON front over the experiment scheduler with the durable
+// results store as its backend. Where llama-bench computes a run and
+// exits, llama-serve accepts runs over HTTP, executes them on one
+// shared worker pool, persists every completed (experiment, seed) cell
+// into the store, and serves results that are byte-identical to
+// llama-bench's output for the same spec — including after a restart,
+// because completed runs are re-served from the store.
+//
+// Usage:
+//
+//	llama-serve -store DIR                serve on :8080 backed by DIR
+//	llama-serve -store DIR -addr :9000    choose the listen address
+//	llama-serve -store DIR -workers 4     bound the shared worker pool
+//	llama-serve -store DIR -drain 1m      bound the shutdown drain
+//
+// Endpoints (see internal/service):
+//
+//	POST   /runs                      {"ids":["fig15"],"seeds":[1,2,3]}
+//	GET    /runs                      list runs
+//	GET    /runs/{id}                 status + progress
+//	GET    /runs/{id}/result?format=csv|json|text
+//	DELETE /runs/{id}                 cancel / delete
+//	GET    /healthz                   liveness
+//
+// SIGINT/SIGTERM drains gracefully: in-flight runs are cancelled and
+// their completed cells persist to the store, so a later identical
+// submission resumes instead of recomputing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/llama-surface/llama/internal/service"
+	"github.com/llama-surface/llama/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		storeDir = flag.String("store", "", "durable results store directory (created if missing; required)")
+		workers  = flag.Int("workers", 0, "worker pool width shared by all runs (0 = GOMAXPROCS)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to wait for in-flight runs to salvage and persist")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fatal(errors.New("-store DIR is required: the store is the service's durable result backend"))
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unknown arguments %v", flag.Args()))
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := service.New(service.Config{Store: st, Workers: *workers, Logf: log.Printf})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Listen before announcing readiness so "listening on" is never a lie
+	// (and so tests/scripts can poll /healthz as the readiness signal).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	log.Printf("llama-serve: listening on %s (store %s)", ln.Addr(), *storeDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	log.Printf("llama-serve: draining (up to %v): cancelling in-flight runs, persisting completed cells", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("llama-serve: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	log.Printf("llama-serve: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llama-serve:", err)
+	os.Exit(1)
+}

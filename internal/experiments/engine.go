@@ -7,12 +7,11 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
-	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/store"
 )
 
@@ -33,10 +32,10 @@ type Engine struct {
 	// Concurrency bounds the worker pool. Zero or negative means
 	// runtime.GOMAXPROCS(0).
 	Concurrency int
-	// IDs restricts the run to a subset of the registry; nil means every
-	// registered experiment. Output is always produced in sorted-ID
-	// order regardless of the order given here, matching the serial
-	// RunAll path.
+	// IDs restricts the run to a subset of the registry; nil or empty
+	// means every registered experiment, and duplicates count once.
+	// Output is always produced in sorted-ID order regardless of the
+	// order given here, matching the serial RunAll path.
 	IDs []string
 	// ShardRows splits sweep-shaped experiments into per-point row jobs.
 	// Experiments registered as plain Runners still run whole.
@@ -350,13 +349,18 @@ func (e *Engine) Replicate(ctx context.Context, seeds []int64) ([]*ReplicatedRes
 	return rep.Replicated, nil
 }
 
-// selected resolves the ID list, validating against the registry.
-func (e *Engine) selected() ([]string, error) {
-	if e.IDs == nil {
+// resolveIDs resolves an ID selection into the sorted, deduplicated
+// concrete list, validating against the registry. An empty selection —
+// nil or zero-length, as a decoded JSON `"ids": []` arrives — means
+// every registered experiment; a duplicated ID counts once, so no spec
+// can compute or emit a table twice.
+func resolveIDs(sel []string) ([]string, error) {
+	if len(sel) == 0 {
 		return IDs(), nil
 	}
-	ids := append([]string(nil), e.IDs...)
+	ids := append([]string(nil), sel...)
 	sort.Strings(ids)
+	ids = slices.Compact(ids)
 	for _, id := range ids {
 		if _, ok := registry[id]; !ok {
 			return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
@@ -513,296 +517,28 @@ func (c *cellRun) assemble() {
 	c.res = res
 }
 
-// run is the engine core: one bounded pool over the job queue — a slot
-// per (experiment, seed) cell, expanded to a slot per sweep point when
-// row sharding is on — then slot-ordered assembly and deterministic
-// aggregation.
+// run executes one one-shot engine run through the scheduler core: lay
+// the submission out, start a private scheduler sized exactly like the
+// old in-place pool (min of Concurrency and job count), and wait. The
+// heavy lifting — layout, the worker pool, slot-ordered assembly,
+// persistence and deterministic aggregation — lives in sched.go, shared
+// with the long-lived Submit path, so both produce identical bytes.
 func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
-	ids, err := e.selected()
+	if e.Resume && e.Store == nil {
+		return nil, errors.New("experiments: Engine.Resume requires Engine.Store (set Options.StoreDir)")
+	}
+	spec := RunSpec{IDs: e.IDs, Seeds: seeds, ShardRows: e.ShardRows, BatchRows: e.BatchRows, Resume: e.Resume}
+	sub, err := newSubmission(ctx, spec, e.Store)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	cacheStart := metasurface.GlobalCacheStats()
-
-	batch := e.BatchRows
-	if batch < 1 {
-		batch = 1
+	s := NewScheduler(SchedulerConfig{Workers: e.workers(len(sub.queue)), Store: e.Store})
+	defer s.Close()
+	if err := s.launch(sub); err != nil {
+		return nil, err
 	}
-
-	// Lay out every cell and its job slots before any worker starts: the
-	// fixed layout is what makes collection order-independent. With
-	// BatchRows > 1 a job covers a contiguous run of sweep points, but
-	// collection slots stay per point, so batching cannot reorder rows.
-	cells := make([]cellRun, 0, len(ids)*len(seeds))
-	type job struct{ cell, point, count int }
-	var queue []job
-	var storeWarns []string
-	reused := 0
-	for _, id := range ids {
-		for _, seed := range seeds {
-			c := cellRun{id: id, seed: seed}
-			if e.Resume && e.Store != nil {
-				// A valid stored record stands in for the whole cell: no
-				// jobs are queued and res is the decoded table, so
-				// aggregation folds stored and fresh seeds identically.
-				if res, warn, ok := e.loadStored(id, seed); ok {
-					c.loaded = true
-					c.res = res
-					cells = append(cells, c)
-					reused++
-					continue
-				} else if warn != "" {
-					storeWarns = append(storeWarns, warn)
-				}
-			}
-			if e.ShardRows {
-				c.sweep = sweeps[id]
-			}
-			slots := 1
-			if c.sweep != nil {
-				slots = c.sweep.Points
-			}
-			c.points = make([]PointResult, slots)
-			c.done = make([]bool, slots)
-			c.errs = make([]error, slots)
-			c.started = make([]time.Time, slots)
-			c.elapsed = make([]time.Duration, slots)
-			c.cacheHits = make([]uint64, slots)
-			c.cacheMisses = make([]uint64, slots)
-			ci := len(cells)
-			cells = append(cells, c)
-			if c.sweep != nil {
-				for p := 0; p < c.sweep.Points; p += batch {
-					n := batch
-					if p+n > c.sweep.Points {
-						n = c.sweep.Points - p
-					}
-					queue = append(queue, job{cell: ci, point: p, count: n})
-				}
-			} else {
-				queue = append(queue, job{cell: ci, point: 0, count: 1})
-			}
-		}
-	}
-	workers := e.workers(len(queue))
-	// The response-cache counters are process-global, so per-job deltas
-	// are attributable only when exactly one job runs at a time.
-	trackCache := workers == 1
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				c := &cells[jb.cell]
-				if c.sweep == nil {
-					var cs metasurface.CacheStats
-					if trackCache {
-						cs = metasurface.GlobalCacheStats()
-					}
-					c.started[jb.point] = time.Now()
-					res, err := Run(runCtx, c.id, c.seed)
-					c.elapsed[jb.point] = time.Since(c.started[jb.point])
-					if trackCache {
-						d := metasurface.GlobalCacheStats().Sub(cs)
-						c.cacheHits[jb.point], c.cacheMisses[jb.point] = d.Hits, d.Misses
-					}
-					if err != nil {
-						c.errs[jb.point] = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
-						if res != nil && len(res.Rows) > 0 {
-							c.partial = res // a sweep's serial runner salvages its prefix
-						}
-						cancel() // fail fast: stop feeding new jobs
-						continue
-					}
-					c.res = res
-					c.done[jb.point] = true
-					continue
-				}
-				for p := jb.point; p < jb.point+jb.count; p++ {
-					var cs metasurface.CacheStats
-					if trackCache {
-						cs = metasurface.GlobalCacheStats()
-					}
-					c.started[p] = time.Now()
-					pt, err := c.sweep.Point(runCtx, c.seed, p)
-					c.elapsed[p] = time.Since(c.started[p])
-					if trackCache {
-						d := metasurface.GlobalCacheStats().Sub(cs)
-						c.cacheHits[p], c.cacheMisses[p] = d.Hits, d.Misses
-					}
-					if err != nil {
-						c.errs[p] = err
-						cancel()
-						break // the batch's remaining points stay unrun
-					}
-					c.points[p] = pt
-					c.done[p] = true
-				}
-			}
-		}()
-	}
-feed:
-	for _, jb := range queue {
-		select {
-		case jobs <- jb:
-		case <-runCtx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	cacheDelta := metasurface.GlobalCacheStats().Sub(cacheStart)
-	rep := &Report{
-		Seeds:       append([]int64(nil), seeds...),
-		Concurrency: workers,
-		Wall:        time.Since(start),
-		ShardRows:   e.ShardRows,
-		BatchRows:   batch,
-		CacheHits:   cacheDelta.Hits,
-		CacheMisses: cacheDelta.Misses,
-	}
-	// Assemble every cell in slot order (sweep reassembly, salvage,
-	// per-cell errors), then resolve the error policy deterministically:
-	// the caller's cancellation wins, then the first real
-	// (non-cancellation) cell failure by slot index, then any remaining
-	// cell error.
-	for ci := range cells {
-		cells[ci].assemble()
-	}
-	firstErr := ctx.Err()
-	if firstErr == nil {
-		for ci := range cells {
-			cerr := cells[ci].err
-			if cerr == nil && len(cells[ci].errs) > 0 {
-				// A whole-experiment worker error lands in errs[0].
-				cerr = cells[ci].errs[0]
-			}
-			if cerr == nil {
-				continue
-			}
-			if firstErr == nil {
-				firstErr = cerr
-			}
-			if !errors.Is(cerr, context.Canceled) {
-				firstErr = cerr
-				break
-			}
-		}
-	}
-
-	// Persist every freshly computed cell — including completed cells of
-	// a run that failed elsewhere, so partial progress survives and a
-	// later -resume recomputes only what is actually missing. A write
-	// failure names its cell and always surfaces — as the run error when
-	// nothing else failed first, and as a store warning regardless, so a
-	// compute failure can never mask it — but never discards the
-	// in-memory results.
-	persisted := 0
-	if e.Store != nil {
-		for ci := range cells {
-			c := &cells[ci]
-			if c.loaded || c.res == nil {
-				continue
-			}
-			h, m := c.cacheDelta()
-			rec := storeRecord(c.res, c.seed, store.Meta{
-				Concurrency: workers, ShardRows: e.ShardRows, BatchRows: batch,
-				CacheHits: h, CacheMisses: m, ElapsedNs: int64(c.busy()),
-			})
-			if err := e.Store.Put(rec); err != nil {
-				err = fmt.Errorf("experiments: %s (seed %d): persisting result: %w", c.id, c.seed, err)
-				storeWarns = append(storeWarns, err.Error())
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			persisted++
-		}
-		if err := e.Store.Sync(); err != nil {
-			err = fmt.Errorf("experiments: syncing store manifest: %w", err)
-			storeWarns = append(storeWarns, err.Error())
-			if firstErr == nil {
-				firstErr = err
-			}
-		}
-	}
-	rep.PersistedCells = persisted
-	rep.ReusedCells = reused
-	rep.StoreWarnings = storeWarns
-	for ci := range cells {
-		if !cells[ci].loaded && cells[ci].res != nil {
-			rep.ComputedCells++
-		}
-	}
-
-	// Report assembly in slot order; on failure keep completed cells (and
-	// salvaged sweep prefixes) so callers can recover partial output.
-	for i, id := range ids {
-		var perSeed []*Result
-		var wall, busy time.Duration
-		var hits, misses uint64
-		points := 1
-		// An experiment row missing any seed is excluded from the report
-		// proper, but its completed seeds must not vanish: a failure in
-		// one seed's cell salvages the siblings' complete tables
-		// alongside any failed cell's contiguous prefix.
-		incomplete := false
-		for s := range seeds {
-			if cells[i*len(seeds)+s].res == nil {
-				incomplete = true
-				break
-			}
-		}
-		for s := range seeds {
-			c := &cells[i*len(seeds)+s]
-			wall += c.span()
-			busy += c.busy()
-			h, m := c.cacheDelta()
-			hits += h
-			misses += m
-			if c.jobs() > points {
-				points = c.jobs()
-			}
-			if c.res != nil {
-				if incomplete {
-					rep.Salvaged = append(rep.Salvaged, c.res)
-				} else {
-					perSeed = append(perSeed, c.res)
-				}
-			}
-			if c.partial != nil && len(c.partial.Rows) > 0 {
-				rep.Salvaged = append(rep.Salvaged, c.partial)
-			}
-		}
-		if incomplete {
-			continue // incomplete experiment row: excluded from the report
-		}
-		rep.Timings = append(rep.Timings, Timing{
-			ID: id, Elapsed: wall, Busy: busy,
-			Rows: len(perSeed[0].Rows), Points: points,
-			CacheHits: hits, CacheMisses: misses,
-		})
-		rep.Results = append(rep.Results, perSeed[0])
-		if len(seeds) > 1 {
-			agg, err := replicate(id, seeds, perSeed, wall)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			rep.Replicated = append(rep.Replicated, agg)
-		}
-	}
-	return rep, firstErr
+	<-sub.done
+	return sub.report, sub.err
 }
 
 // replicate folds one experiment's per-seed tables into mean/stddev.

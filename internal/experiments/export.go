@@ -55,6 +55,58 @@ func (r *ReplicatedResult) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// tableEmitter is the rendering surface shared by Result and
+// ReplicatedResult, letting WriteTables walk either uniformly.
+type tableEmitter interface {
+	Render(io.Writer) error
+	WriteCSV(io.Writer) error
+	WriteJSON(io.Writer) error
+}
+
+// WriteTables writes every table of the report in the given format
+// ("text", "csv" or "json"): the mean±stddev aggregates when the run
+// was replicated across several seeds, the per-seed tables otherwise —
+// each followed by a blank line. This is the exact byte stream
+// llama-bench prints to stdout and llama-serve serves for a completed
+// run; both call here, so the two can never drift (determinism
+// invariant 7 in ARCHITECTURE.md). Tables emitted before a mid-stream
+// error stay written; the error names the table that failed.
+func (rep *Report) WriteTables(w io.Writer, format string) error {
+	var emit func(tableEmitter) error
+	switch format {
+	case "text":
+		emit = func(t tableEmitter) error { return t.Render(w) }
+	case "csv":
+		emit = func(t tableEmitter) error { return t.WriteCSV(w) }
+	case "json":
+		emit = func(t tableEmitter) error { return t.WriteJSON(w) }
+	default:
+		return fmt.Errorf("experiments: unknown format %q (want text, csv or json)", format)
+	}
+	var tables []tableEmitter
+	var ids []string
+	if len(rep.Replicated) > 0 {
+		for _, res := range rep.Replicated {
+			tables = append(tables, res)
+			ids = append(ids, res.ID)
+		}
+	} else {
+		for _, res := range rep.Results {
+			tables = append(tables, res)
+			ids = append(ids, res.ID)
+		}
+	}
+	for i, t := range tables {
+		if err := emit(t); err != nil {
+			return fmt.Errorf("emitting %s (after %d of %d tables): %w", ids[i], i, len(tables), err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return fmt.Errorf("emitting %s (after %d of %d tables): %w", ids[i], i, len(tables), err)
+		}
+	}
+	return nil
+}
+
 // csvCell formats one numeric CSV cell, keeping NaN/Inf spreadsheet-safe.
 func csvCell(v float64) string {
 	switch {

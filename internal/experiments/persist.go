@@ -51,8 +51,8 @@ func resultFromRecord(rec *store.Record) (*Result, error) {
 // record that exists but cannot be used (corrupt, schema-mismatched, or
 // shaped unlike the current sweep) — those cells are recomputed, never
 // fatal.
-func (e *Engine) loadStored(id string, seed int64) (*Result, string, bool) {
-	rec, err := e.Store.Get(id, seed)
+func loadStored(st *store.Store, id string, seed int64) (*Result, string, bool) {
+	rec, err := st.Get(id, seed)
 	if err != nil {
 		if store.IsNotFound(err) {
 			return nil, "", false

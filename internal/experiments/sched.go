@@ -1,0 +1,648 @@
+package experiments
+
+// The scheduler is the engine's execution core, split out of the old
+// one-shot Engine.run monolith so ONE bounded worker pool can serve MANY
+// concurrent submissions: a long-lived service Submits runs as they
+// arrive and every run's jobs — whole-experiment cells, sharded sweep
+// points, batched point runs — interleave in the same queue. Collection
+// stays slot-indexed per submission and assembly runs per submission in
+// slot order, so sharing the pool cannot change any submission's bytes;
+// that is what lets `llama-serve` promise service-served results
+// bit-identical to `llama-bench` output (determinism invariant 7 in
+// ARCHITECTURE.md). The one-shot paths (Engine, Execute,
+// llama.RunExperiments) construct a private scheduler per run, so every
+// entry point executes this same core.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/store"
+)
+
+// RunSpec describes one submission: which experiments, across which
+// seeds, and how the work fans out. It is the submission-shaped
+// equivalent of Options (which remains the one-shot configuration).
+type RunSpec struct {
+	// IDs restricts the run to a subset of the registry; nil or empty
+	// means every registered experiment, and duplicates count once.
+	// Submit resolves, sorts and dedupes the list, so a handle's Spec
+	// always names the concrete IDs it runs.
+	IDs []string
+	// Seeds are the replication seeds; nil means {1}.
+	Seeds []int64
+	// ShardRows splits sweep-shaped experiments into per-point row jobs.
+	ShardRows bool
+	// BatchRows groups that many consecutive sweep points per sharded
+	// job; ≤1 means one point per job.
+	BatchRows int
+	// Resume consults the scheduler's store before queueing each cell
+	// and reuses valid records; requires the scheduler to have a store.
+	// Output is bit-identical to a fresh run (invariant 6).
+	Resume bool
+}
+
+// clone deep-copies the spec's slices so callers cannot mutate a
+// submission's layout after the fact.
+func (sp RunSpec) clone() RunSpec {
+	sp.IDs = append([]string(nil), sp.IDs...)
+	sp.Seeds = append([]int64(nil), sp.Seeds...)
+	return sp
+}
+
+// ErrSchedulerClosed is returned by Submit once Close has begun: the
+// pool is draining and can accept no further work. Service fronts map
+// it to a retryable (503-style) condition rather than a spec error.
+var ErrSchedulerClosed = errors.New("experiments: scheduler is closed")
+
+// SchedulerConfig sizes a Scheduler.
+type SchedulerConfig struct {
+	// Workers bounds the shared pool; ≤0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Store, when non-nil, is the durable results backend: every
+	// submission persists its freshly computed cells there, and Resume
+	// submissions consult it before queueing jobs.
+	Store *store.Store
+}
+
+// Scheduler owns one bounded worker pool and the job queue behind it,
+// shared by every submission. It is long-lived: create one, Submit many
+// runs concurrently, Close once. Methods are safe for concurrent use.
+type Scheduler struct {
+	workers int
+	st      *store.Store
+
+	jobs chan schedJob
+	pool sync.WaitGroup // worker goroutines
+
+	mu     sync.Mutex
+	active map[*submission]struct{}
+	closed bool
+	subs   sync.WaitGroup // feeders + finalizers of live submissions
+}
+
+// NewScheduler starts the worker pool. Close must be called to release
+// it.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		workers: w,
+		st:      cfg.Store,
+		jobs:    make(chan schedJob),
+		active:  make(map[*submission]struct{}),
+	}
+	s.pool.Add(w)
+	for i := 0; i < w; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Store returns the scheduler's durable results backend, nil when the
+// scheduler is memory-only.
+func (s *Scheduler) Store() *store.Store { return s.st }
+
+// Workers returns the resolved pool width.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// worker pulls jobs off the shared queue until Close drains the pool.
+// Jobs from different submissions interleave freely; each job writes
+// only its own pre-assigned slot.
+func (s *Scheduler) worker() {
+	defer s.pool.Done()
+	for jb := range s.jobs {
+		jb.sub.execute(jb)
+	}
+}
+
+// Submit validates and lays out spec, enqueues its jobs behind whatever
+// is already running, and returns a handle immediately. The submission's
+// output is bit-identical to what Execute would produce for the same
+// spec, regardless of what else shares the pool. ctx cancellation (or
+// RunHandle.Cancel) stops the submission without touching its
+// neighbours.
+func (s *Scheduler) Submit(ctx context.Context, spec RunSpec) (*RunHandle, error) {
+	sub, err := newSubmission(ctx, spec, s.st)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.launch(sub); err != nil {
+		return nil, err
+	}
+	return &RunHandle{sub: sub}, nil
+}
+
+// launch registers a laid-out submission and starts feeding its jobs.
+func (s *Scheduler) launch(sub *submission) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sub.cancelFn() // release the derived context
+		return ErrSchedulerClosed
+	}
+	sub.sched = s
+	sub.workers = s.workers
+	// The response-cache counters are process-global, so per-job deltas
+	// are attributable only when exactly one job runs at a time.
+	sub.trackCache = s.workers == 1
+	s.active[sub] = struct{}{}
+	s.subs.Add(1)
+	s.mu.Unlock()
+	if len(sub.queue) == 0 {
+		// Fully resumed from the store (or an empty selection): nothing
+		// to feed, finalize straight away.
+		go sub.finish()
+		return nil
+	}
+	go sub.feed(s)
+	return nil
+}
+
+// Close cancels every live submission, waits for them to finalize
+// (completed cells of in-flight runs persist to the store — the salvage
+// path), then drains and releases the worker pool. Safe to call more
+// than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*submission, 0, len(s.active))
+	for sub := range s.active {
+		live = append(live, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range live {
+		sub.cancelFn()
+	}
+	s.subs.Wait()
+	close(s.jobs)
+	s.pool.Wait()
+}
+
+// schedJob is one unit of queued work: a whole-experiment cell, one
+// sweep point, or a contiguous batch of points of one cell.
+type schedJob struct {
+	sub          *submission
+	cell         int
+	point, count int
+}
+
+// submission is one Submit call in flight: its fixed cell/job layout,
+// collection slots, and completion state. The layout is built before
+// any job runs (invariant 3), so concurrent submissions sharing the
+// pool cannot perturb each other's slot assignment.
+type submission struct {
+	spec  RunSpec
+	ids   []string
+	seeds []int64
+	batch int
+
+	parent     context.Context // the submitter's context: its cancellation wins
+	ctx        context.Context // derived; cancelled on failure/Cancel/Close
+	cancelFn   context.CancelFunc
+	userCancel atomic.Bool
+
+	sched      *Scheduler
+	st         *store.Store
+	workers    int
+	trackCache bool
+
+	start      time.Time
+	cacheStart metasurface.CacheStats
+
+	cells      []cellRun
+	queue      []schedJob
+	storeWarns []string
+	reused     int
+
+	completed atomic.Int64 // job slots executed or abandoned
+	done      chan struct{}
+	report    *Report
+	err       error
+}
+
+// newSubmission validates spec and lays out every cell and job slot —
+// consulting the store for reusable cells when spec.Resume is set —
+// before any worker can touch it.
+func newSubmission(ctx context.Context, spec RunSpec, st *store.Store) (*submission, error) {
+	if spec.Resume && st == nil {
+		return nil, errors.New("experiments: RunSpec.Resume requires a results store (set Options.StoreDir / SchedulerConfig.Store)")
+	}
+	ids, err := resolveIDs(spec.IDs)
+	if err != nil {
+		return nil, err
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	batch := spec.BatchRows
+	if batch < 1 {
+		batch = 1
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	sub := &submission{
+		spec: RunSpec{
+			IDs:       ids,
+			Seeds:     append([]int64(nil), seeds...),
+			ShardRows: spec.ShardRows,
+			BatchRows: batch,
+			Resume:    spec.Resume,
+		},
+		ids:        ids,
+		seeds:      append([]int64(nil), seeds...),
+		batch:      batch,
+		parent:     ctx,
+		ctx:        runCtx,
+		cancelFn:   cancel,
+		st:         st,
+		start:      time.Now(),
+		cacheStart: metasurface.GlobalCacheStats(),
+		done:       make(chan struct{}),
+	}
+	// Lay out every cell and its job slots before any worker starts: the
+	// fixed layout is what makes collection order-independent. With
+	// BatchRows > 1 a job covers a contiguous run of sweep points, but
+	// collection slots stay per point, so batching cannot reorder rows.
+	sub.cells = make([]cellRun, 0, len(ids)*len(seeds))
+	for _, id := range ids {
+		for _, seed := range seeds {
+			c := cellRun{id: id, seed: seed}
+			if spec.Resume && st != nil {
+				// A valid stored record stands in for the whole cell: no
+				// jobs are queued and res is the decoded table, so
+				// aggregation folds stored and fresh seeds identically.
+				if res, warn, ok := loadStored(st, id, seed); ok {
+					c.loaded = true
+					c.res = res
+					sub.cells = append(sub.cells, c)
+					sub.reused++
+					continue
+				} else if warn != "" {
+					sub.storeWarns = append(sub.storeWarns, warn)
+				}
+			}
+			if spec.ShardRows {
+				c.sweep = sweeps[id]
+			}
+			slots := 1
+			if c.sweep != nil {
+				slots = c.sweep.Points
+			}
+			c.points = make([]PointResult, slots)
+			c.done = make([]bool, slots)
+			c.errs = make([]error, slots)
+			c.started = make([]time.Time, slots)
+			c.elapsed = make([]time.Duration, slots)
+			c.cacheHits = make([]uint64, slots)
+			c.cacheMisses = make([]uint64, slots)
+			ci := len(sub.cells)
+			sub.cells = append(sub.cells, c)
+			if c.sweep != nil {
+				for p := 0; p < c.sweep.Points; p += batch {
+					n := batch
+					if p+n > c.sweep.Points {
+						n = c.sweep.Points - p
+					}
+					sub.queue = append(sub.queue, schedJob{sub: sub, cell: ci, point: p, count: n})
+				}
+			} else {
+				sub.queue = append(sub.queue, schedJob{sub: sub, cell: ci, point: 0, count: 1})
+			}
+		}
+	}
+	return sub, nil
+}
+
+// feed pushes the submission's jobs into the shared queue in layout
+// order. On cancellation the unfed remainder is abandoned — those slots
+// simply never ran, exactly like the old engine's fail-fast feed loop —
+// and accounted so the submission still finalizes.
+func (sub *submission) feed(s *Scheduler) {
+	for i := range sub.queue {
+		select {
+		case s.jobs <- sub.queue[i]:
+		case <-sub.ctx.Done():
+			sub.jobDone(len(sub.queue) - i)
+			return
+		}
+	}
+}
+
+// execute runs one job on a pool worker, writing only the job's own
+// pre-assigned slots. A job error cancels this submission (fail fast)
+// without touching the scheduler's other submissions.
+func (sub *submission) execute(jb schedJob) {
+	defer sub.jobDone(1)
+	c := &sub.cells[jb.cell]
+	if c.sweep == nil {
+		var cs metasurface.CacheStats
+		if sub.trackCache {
+			cs = metasurface.GlobalCacheStats()
+		}
+		c.started[jb.point] = time.Now()
+		res, err := Run(sub.ctx, c.id, c.seed)
+		c.elapsed[jb.point] = time.Since(c.started[jb.point])
+		if sub.trackCache {
+			d := metasurface.GlobalCacheStats().Sub(cs)
+			c.cacheHits[jb.point], c.cacheMisses[jb.point] = d.Hits, d.Misses
+		}
+		if err != nil {
+			c.errs[jb.point] = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
+			if res != nil && len(res.Rows) > 0 {
+				c.partial = res // a sweep's serial runner salvages its prefix
+			}
+			sub.cancelFn() // fail fast: stop feeding this submission's jobs
+			return
+		}
+		c.res = res
+		c.done[jb.point] = true
+		return
+	}
+	for p := jb.point; p < jb.point+jb.count; p++ {
+		var cs metasurface.CacheStats
+		if sub.trackCache {
+			cs = metasurface.GlobalCacheStats()
+		}
+		c.started[p] = time.Now()
+		pt, err := c.sweep.Point(sub.ctx, c.seed, p)
+		c.elapsed[p] = time.Since(c.started[p])
+		if sub.trackCache {
+			d := metasurface.GlobalCacheStats().Sub(cs)
+			c.cacheHits[p], c.cacheMisses[p] = d.Hits, d.Misses
+		}
+		if err != nil {
+			c.errs[p] = err
+			sub.cancelFn()
+			return // the batch's remaining points stay unrun
+		}
+		c.points[p] = pt
+		c.done[p] = true
+	}
+}
+
+// jobDone accounts n finished (or abandoned) job slots; retiring the
+// last slot triggers finalization. The atomic counter orders every
+// worker's slot writes before the finalizer's reads, and finish runs
+// on its own goroutine so a pool worker is never stalled behind
+// another submission's assembly and fsync'd persistence.
+func (sub *submission) jobDone(n int) {
+	if n == 0 {
+		return
+	}
+	if sub.completed.Add(int64(n)) == int64(len(sub.queue)) {
+		go sub.finish()
+	}
+}
+
+// finish finalizes the submission (assembly, persistence, report),
+// publishes the result and unregisters from the scheduler.
+func (sub *submission) finish() {
+	sub.finalize()
+	close(sub.done)
+	if s := sub.sched; s != nil {
+		s.mu.Lock()
+		delete(s.active, sub)
+		s.mu.Unlock()
+		s.subs.Done()
+	}
+}
+
+// finalize is the single-threaded tail of a submission: slot-ordered
+// assembly (sweep reassembly, salvage, per-cell errors), deterministic
+// error policy, persistence of freshly computed cells, and report
+// aggregation — byte-for-byte the same policy the one-shot engine
+// applied, so a submission's report cannot depend on what else shared
+// the pool.
+func (sub *submission) finalize() {
+	cacheDelta := metasurface.GlobalCacheStats().Sub(sub.cacheStart)
+	conc := sub.workers
+	if n := len(sub.queue); conc > n {
+		conc = n
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	rep := &Report{
+		Seeds:       append([]int64(nil), sub.seeds...),
+		Concurrency: conc,
+		Wall:        time.Since(sub.start),
+		ShardRows:   sub.spec.ShardRows,
+		BatchRows:   sub.batch,
+		CacheHits:   cacheDelta.Hits,
+		CacheMisses: cacheDelta.Misses,
+	}
+	cells := sub.cells
+	seeds := sub.seeds
+	// Assemble every cell in slot order, then resolve the error policy
+	// deterministically: the submitter's cancellation wins, then the
+	// first real (non-cancellation) cell failure by slot index, then any
+	// remaining cell error.
+	for ci := range cells {
+		cells[ci].assemble()
+	}
+	firstErr := sub.parent.Err()
+	if firstErr == nil && sub.userCancel.Load() {
+		firstErr = context.Canceled
+	}
+	if firstErr == nil {
+		for ci := range cells {
+			cerr := cells[ci].err
+			if cerr == nil && len(cells[ci].errs) > 0 {
+				// A whole-experiment worker error lands in errs[0].
+				cerr = cells[ci].errs[0]
+			}
+			if cerr == nil {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			if !errors.Is(cerr, context.Canceled) {
+				firstErr = cerr
+				break
+			}
+		}
+	}
+
+	// Persist every freshly computed cell — including completed cells of
+	// a run that failed or was cancelled elsewhere, so partial progress
+	// survives and a later Resume recomputes only what is actually
+	// missing. A write failure names its cell and always surfaces — as
+	// the run error when nothing else failed first, and as a store
+	// warning regardless, so a compute failure can never mask it — but
+	// never discards the in-memory results.
+	storeWarns := sub.storeWarns
+	persisted := 0
+	if sub.st != nil {
+		for ci := range cells {
+			c := &cells[ci]
+			if c.loaded || c.res == nil {
+				continue
+			}
+			h, m := c.cacheDelta()
+			rec := storeRecord(c.res, c.seed, store.Meta{
+				Concurrency: conc, ShardRows: sub.spec.ShardRows, BatchRows: sub.batch,
+				CacheHits: h, CacheMisses: m, ElapsedNs: int64(c.busy()),
+			})
+			if err := sub.st.Put(rec); err != nil {
+				err = fmt.Errorf("experiments: %s (seed %d): persisting result: %w", c.id, c.seed, err)
+				storeWarns = append(storeWarns, err.Error())
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			persisted++
+		}
+		if err := sub.st.Sync(); err != nil {
+			err = fmt.Errorf("experiments: syncing store manifest: %w", err)
+			storeWarns = append(storeWarns, err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	rep.PersistedCells = persisted
+	rep.ReusedCells = sub.reused
+	rep.StoreWarnings = storeWarns
+	for ci := range cells {
+		if !cells[ci].loaded && cells[ci].res != nil {
+			rep.ComputedCells++
+		}
+	}
+
+	// Report assembly in slot order; on failure keep completed cells (and
+	// salvaged sweep prefixes) so callers can recover partial output.
+	for i, id := range sub.ids {
+		var perSeed []*Result
+		var wall, busy time.Duration
+		var hits, misses uint64
+		points := 1
+		// An experiment row missing any seed is excluded from the report
+		// proper, but its completed seeds must not vanish: a failure in
+		// one seed's cell salvages the siblings' complete tables
+		// alongside any failed cell's contiguous prefix.
+		incomplete := false
+		for s := range seeds {
+			if cells[i*len(seeds)+s].res == nil {
+				incomplete = true
+				break
+			}
+		}
+		for s := range seeds {
+			c := &cells[i*len(seeds)+s]
+			wall += c.span()
+			busy += c.busy()
+			h, m := c.cacheDelta()
+			hits += h
+			misses += m
+			if c.jobs() > points {
+				points = c.jobs()
+			}
+			if c.res != nil {
+				if incomplete {
+					rep.Salvaged = append(rep.Salvaged, c.res)
+				} else {
+					perSeed = append(perSeed, c.res)
+				}
+			}
+			if c.partial != nil && len(c.partial.Rows) > 0 {
+				rep.Salvaged = append(rep.Salvaged, c.partial)
+			}
+		}
+		if incomplete {
+			continue // incomplete experiment row: excluded from the report
+		}
+		rep.Timings = append(rep.Timings, Timing{
+			ID: id, Elapsed: wall, Busy: busy,
+			Rows: len(perSeed[0].Rows), Points: points,
+			CacheHits: hits, CacheMisses: misses,
+		})
+		rep.Results = append(rep.Results, perSeed[0])
+		if len(seeds) > 1 {
+			agg, err := replicate(id, seeds, perSeed, wall)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			rep.Replicated = append(rep.Replicated, agg)
+		}
+	}
+	sub.report, sub.err = rep, firstErr
+}
+
+// RunHandle tracks one submission: progress while it runs, cancellation,
+// and the report when it finishes. Methods are safe for concurrent use.
+type RunHandle struct{ sub *submission }
+
+// Spec returns the normalized spec the submission runs: IDs resolved
+// and sorted, seeds defaulted, batch size clamped.
+func (h *RunHandle) Spec() RunSpec { return h.sub.spec.clone() }
+
+// Done returns a channel closed when the submission has finished —
+// assembled, persisted and reported.
+func (h *RunHandle) Done() <-chan struct{} { return h.sub.done }
+
+// Cancel stops the submission: unfed jobs are abandoned, in-flight jobs
+// see a cancelled context, and completed cells still persist to the
+// store (the salvage path), so a cancelled run's finished work survives
+// for a later Resume. Safe to call repeatedly; a no-op once the
+// submission finished.
+func (h *RunHandle) Cancel() {
+	h.sub.userCancel.Store(true)
+	h.sub.cancelFn()
+}
+
+// Report blocks until the submission finishes and returns its report
+// and error — exactly what Execute returns for the same spec.
+func (h *RunHandle) Report() (*Report, error) {
+	<-h.sub.done
+	return h.sub.report, h.sub.err
+}
+
+// Progress returns a point-in-time snapshot of the submission's advance
+// through the queue.
+func (h *RunHandle) Progress() Progress {
+	sub := h.sub
+	p := Progress{
+		TotalJobs:   len(sub.queue),
+		DoneJobs:    int(sub.completed.Load()),
+		TotalCells:  len(sub.cells),
+		ReusedCells: sub.reused,
+	}
+	select {
+	case <-sub.done:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// Progress is a point-in-time snapshot of one submission.
+type Progress struct {
+	// TotalJobs and DoneJobs count queued job slots (experiment cells,
+	// sweep points, or point batches); DoneJobs includes slots abandoned
+	// by cancellation, so it always reaches TotalJobs.
+	TotalJobs, DoneJobs int
+	// TotalCells is the (experiment × seed) cell count of the spec;
+	// ReusedCells of those were answered from the store at layout.
+	TotalCells, ReusedCells int
+	// Finished reports whether the submission has fully finished (its
+	// report is available).
+	Finished bool
+}

@@ -1,0 +1,268 @@
+package experiments
+
+// Scheduler-level coverage: concurrent submissions sharing one pool
+// must be byte-equivalent to sequential one-shot runs (the contract
+// llama-serve builds invariant 7 on), Submit/Cancel cycles must not
+// leak goroutines, and submission validation must fail fast. Run under
+// -race in CI.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tablesCSV renders the one-shot reference bytes for a spec: the serial
+// (Concurrency 1, unsharded) engine run — what `llama-bench -format
+// csv` prints for the same selection.
+func tablesCSV(t *testing.T, opts Options) string {
+	t.Helper()
+	rep, err := Execute(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTables(&buf, "csv"); err != nil {
+		t.Fatalf("reference render: %v", err)
+	}
+	return buf.String()
+}
+
+// handleCSV waits for a submission and renders its tables as CSV.
+func handleCSV(t *testing.T, h *RunHandle) string {
+	t.Helper()
+	rep, err := h.Report()
+	if err != nil {
+		t.Fatalf("submission: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTables(&buf, "csv"); err != nil {
+		t.Fatalf("submission render: %v", err)
+	}
+	return buf.String()
+}
+
+// TestConcurrentSubmissionsMatchSequential is the scheduler's
+// determinism contract: two overlapping Submits sharing one pool
+// produce exactly the bytes two sequential llama-bench runs produce,
+// for workers {1, 8} × shard on/off. Their jobs interleave in one
+// queue, so a clean pass certifies that slot-indexed collection keeps
+// submissions independent.
+func TestConcurrentSubmissionsMatchSequential(t *testing.T) {
+	ctx := context.Background()
+	specA := RunSpec{IDs: []string{"fig2a", "tab1"}, Seeds: []int64{1, 2}}
+	specB := RunSpec{IDs: []string{"fig12", "fig2b"}, Seeds: []int64{3, 4}}
+	wantA := tablesCSV(t, Options{IDs: specA.IDs, Seeds: specA.Seeds, Concurrency: 1})
+	wantB := tablesCSV(t, Options{IDs: specB.IDs, Seeds: specB.Seeds, Concurrency: 1})
+	for _, workers := range []int{1, 8} {
+		for _, shard := range []bool{false, true} {
+			s := NewScheduler(SchedulerConfig{Workers: workers})
+			sA, sB := specA, specB
+			sA.ShardRows, sB.ShardRows = shard, shard
+			hA, err := s.Submit(ctx, sA)
+			if err != nil {
+				t.Fatalf("workers %d shard %v: submit A: %v", workers, shard, err)
+			}
+			hB, err := s.Submit(ctx, sB)
+			if err != nil {
+				t.Fatalf("workers %d shard %v: submit B: %v", workers, shard, err)
+			}
+			gotA, gotB := handleCSV(t, hA), handleCSV(t, hB)
+			if gotA != wantA {
+				t.Errorf("workers %d shard %v: submission A bytes differ from sequential run", workers, shard)
+			}
+			if gotB != wantB {
+				t.Errorf("workers %d shard %v: submission B bytes differ from sequential run", workers, shard)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestSubmissionCancelIndependent: cancelling one submission must not
+// perturb a concurrent one — the survivor's bytes still match the
+// sequential reference.
+func TestSubmissionCancelIndependent(t *testing.T) {
+	ctx := context.Background()
+	want := tablesCSV(t, Options{IDs: []string{"tab1"}, Seeds: []int64{1, 2}, Concurrency: 1})
+	s := NewScheduler(SchedulerConfig{Workers: 4})
+	defer s.Close()
+	victim, err := s.Submit(ctx, RunSpec{IDs: []string{"fig15"}, Seeds: []int64{1, 2, 3}, ShardRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := s.Submit(ctx, RunSpec{IDs: []string{"tab1"}, Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Cancel()
+	if _, err := victim.Report(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled submission: err = %v, want context.Canceled", err)
+	}
+	if got := handleCSV(t, survivor); got != want {
+		t.Error("survivor bytes differ after neighbour cancellation")
+	}
+	if !victim.Progress().Finished {
+		t.Error("cancelled handle not marked finished")
+	}
+}
+
+// TestSchedulerGoroutineBound is the leak bound the service relies on:
+// many Submit/cancel cycles against one scheduler leave no stragglers —
+// during the churn the count stays near baseline + pool, and after
+// Close it settles back to the pre-scheduler level. Run under -race.
+func TestSchedulerGoroutineBound(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const workers = 4
+	s := NewScheduler(SchedulerConfig{Workers: workers})
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		h, err := s.Submit(ctx, RunSpec{IDs: []string{"fig2a"}, Seeds: []int64{1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			h.Cancel()
+		}
+		<-h.Done()
+	}
+	// Mid-life: only the pool (plus a little runtime slack) may remain.
+	if n := runtime.NumGoroutine(); n > before+workers+8 {
+		t.Errorf("goroutines during churn: before=%d now=%d — per-submission leak", before, n)
+	}
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after close=%d — scheduler leak", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubmitValidation: bad specs fail fast, before any job runs.
+func TestSubmitValidation(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), RunSpec{IDs: []string{"no-such-id"}}); err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Errorf("unknown id: err = %v", err)
+	}
+	if _, err := s.Submit(context.Background(), RunSpec{IDs: []string{"tab1"}, Resume: true}); err == nil || !strings.Contains(err.Error(), "store") {
+		t.Errorf("resume without store: err = %v", err)
+	}
+}
+
+// TestSubmitAfterClose: a closed scheduler refuses work with the typed
+// sentinel instead of wedging the submitter.
+func TestSubmitAfterClose(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(context.Background(), RunSpec{IDs: []string{"tab1"}}); !errors.Is(err, ErrSchedulerClosed) {
+		t.Errorf("submit after close: err = %v, want ErrSchedulerClosed", err)
+	}
+}
+
+// TestResolveIDsEmptyAndDuplicates: an explicitly empty selection (the
+// decoded-JSON `"ids": []` shape) means everything — not a silent
+// zero-experiment run — and duplicated IDs collapse to one cell so no
+// spec can compute or emit a table twice.
+func TestResolveIDsEmptyAndDuplicates(t *testing.T) {
+	all, err := resolveIDs([]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := IDs(); len(all) != len(want) {
+		t.Errorf("empty selection resolved to %d ids, want all %d", len(all), len(want))
+	}
+	dedup, err := resolveIDs([]string{"tab1", "fig2a", "tab1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedup) != 2 || dedup[0] != "fig2a" || dedup[1] != "tab1" {
+		t.Errorf("deduped selection = %v, want [fig2a tab1]", dedup)
+	}
+	s := NewScheduler(SchedulerConfig{Workers: 2})
+	defer s.Close()
+	h, err := s.Submit(context.Background(), RunSpec{IDs: []string{"tab1", "tab1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Errorf("duplicated spec produced %d tables, want 1", len(rep.Results))
+	}
+}
+
+// TestEngineResumeRequiresStore: the Engine-level guard matching the
+// Options/CLI checks — Resume with no Store configured is a
+// configuration error, not a silent no-op.
+func TestEngineResumeRequiresStore(t *testing.T) {
+	eng := &Engine{Resume: true}
+	if _, err := eng.RunAll(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "Engine.Store") {
+		t.Errorf("err = %v, want Engine.Store requirement", err)
+	}
+}
+
+// TestHandleProgressAndSpec: the handle reports the normalized spec and
+// monotone progress that ends complete.
+func TestHandleProgressAndSpec(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2})
+	defer s.Close()
+	h, err := s.Submit(context.Background(), RunSpec{IDs: []string{"tab1", "fig2a"}, Seeds: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := h.Spec()
+	if want := []string{"fig2a", "tab1"}; len(spec.IDs) != 2 || spec.IDs[0] != want[0] || spec.IDs[1] != want[1] {
+		t.Errorf("normalized IDs = %v, want %v", spec.IDs, want)
+	}
+	if len(spec.Seeds) != 1 || spec.Seeds[0] != 1 {
+		t.Errorf("defaulted seeds = %v, want [1]", spec.Seeds)
+	}
+	if _, err := h.Report(); err != nil {
+		t.Fatal(err)
+	}
+	p := h.Progress()
+	if !p.Finished || p.DoneJobs != p.TotalJobs || p.TotalCells != 2 {
+		t.Errorf("final progress = %+v, want finished with all jobs done over 2 cells", p)
+	}
+}
+
+// TestConcurrentSubmitStress hammers one scheduler from many
+// goroutines to give -race a fair shot at the registry/queue paths.
+func TestConcurrentSubmitStress(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 4})
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := s.Submit(context.Background(), RunSpec{IDs: []string{"tab1"}, Seeds: []int64{int64(i + 1)}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = h.Report()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("submitter %d: %v", i, err)
+		}
+	}
+}

@@ -76,6 +76,14 @@ func (e *PointError) Unwrap() error { return e.Err }
 // special cases.
 var sweeps = map[string]*Sweep{}
 
+// RegisterSweep adds a custom sweep-shaped experiment to the registry,
+// making it runnable by ID through every execution path (serial,
+// engine, scheduler, service). It is intended for init-time extension —
+// registration is not safe concurrently with running experiments — and
+// panics on a duplicate ID, a nil Point function or negative Points,
+// all programmer errors.
+func RegisterSweep(s *Sweep) { registerSweep(s) }
+
 // registerSweep registers a sweep-shaped experiment: the serial closure
 // goes into the ordinary registry and the sweep itself is indexed for the
 // Engine's row-sharded mode.

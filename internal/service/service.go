@@ -1,0 +1,530 @@
+// Package service is the long-lived experiment service behind
+// cmd/llama-serve: an HTTP/JSON front over the experiments Scheduler
+// with the durable results store as its backend. It turns the one-shot
+// CLI shape into the networked-service shape the software-defined
+// metasurface literature assumes — submit a run, poll its status, fetch
+// its tables — while keeping the repository's determinism contract: the
+// bytes served for a completed run are identical to what llama-bench
+// prints for the same spec, including after a server restart, because
+// results are always reconstructed from the store's cell records
+// (determinism invariant 7 in ARCHITECTURE.md).
+//
+// Endpoints:
+//
+//	POST   /runs                     submit {ids, seeds, shard_rows, batch_rows, resume}
+//	GET    /runs                     list runs
+//	GET    /runs/{id}                status + progress
+//	GET    /runs/{id}/result?format= fetch tables (csv, json or text; default csv)
+//	DELETE /runs/{id}                cancel a live run / delete a finished run's record
+//	GET    /healthz                  liveness + run counts
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/store"
+)
+
+// Run lifecycle states persisted in store.RunRecord.Status.
+const (
+	// StatusRunning marks a run whose jobs are queued or executing.
+	StatusRunning = "running"
+	// StatusDone marks a run that completed; its result is servable.
+	StatusDone = "done"
+	// StatusFailed marks a run whose engine reported an error.
+	StatusFailed = "failed"
+	// StatusCancelled marks a run stopped by DELETE or server shutdown;
+	// its completed cells persist in the store.
+	StatusCancelled = "cancelled"
+	// StatusInterrupted marks a run found mid-flight when the server
+	// restarted: its completed cells are in the store, so re-submitting
+	// the same spec resumes instead of recomputing.
+	StatusInterrupted = "interrupted"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the durable backend for cell results and run records.
+	// Required.
+	Store *store.Store
+	// Workers bounds the scheduler pool shared by every run; ≤0 means
+	// GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives operational log lines (submissions,
+	// completions, persistence failures). nil discards them.
+	Logf func(format string, args ...any)
+	// Now supplies run-record timestamps; nil means time.Now. Tests pin
+	// it for stable records.
+	Now func() time.Time
+}
+
+// Server is the HTTP service: one shared Scheduler, one Store, and the
+// run registry mapping IDs to live handles and durable records. It
+// implements http.Handler.
+type Server struct {
+	st    *store.Store
+	sched *experiments.Scheduler
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+	now   func() time.Time
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	nextID   int
+	closed   bool
+	watchers sync.WaitGroup
+}
+
+// run is one submission's service-side state: the durable record plus,
+// while the server that accepted it is alive, the live handle. Results
+// are never cached in memory — every result request reconstructs the
+// report from the store (see reportFor), so a long-lived server's
+// footprint is bounded by the runs in flight, not the runs it has ever
+// served.
+type run struct {
+	rec    *store.RunRecord
+	handle *experiments.RunHandle
+}
+
+// New builds a Server over cfg.Store, re-listing every run the store
+// remembers. Runs recorded as running belong to a previous process —
+// they are marked interrupted (their completed cells are already in the
+// store, so re-submitting the same spec resumes rather than
+// recomputes). Close the server with Shutdown.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("service: Config.Store is required")
+	}
+	s := &Server{
+		st:    cfg.Store,
+		sched: experiments.NewScheduler(experiments.SchedulerConfig{Workers: cfg.Workers, Store: cfg.Store}),
+		logf:  cfg.Logf,
+		now:   cfg.Now,
+		runs:  make(map[string]*run),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	recs, err := cfg.Store.ListRuns()
+	if err != nil {
+		s.sched.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	for _, rec := range recs {
+		if rec.Status == StatusRunning {
+			rec.Status = StatusInterrupted
+			rec.Error = "server stopped while the run was in flight; completed cells persist — resubmit the spec to resume"
+			if err := cfg.Store.PutRun(rec); err != nil {
+				s.logf("service: marking %s interrupted: %v", rec.ID, err)
+			}
+		}
+		s.runs[rec.ID] = &run{rec: rec}
+		if n := runNumber(rec.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /runs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: no new submissions are accepted, every
+// live run is cancelled (the scheduler persists their completed cells —
+// the salvage path), run records are updated, and the worker pool is
+// released. It returns ctx.Err() if the drain outlives ctx. The HTTP
+// listener itself is the caller's to stop (http.Server.Shutdown) before
+// calling this.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var live []*experiments.RunHandle
+	for _, rn := range s.runs {
+		if rn.handle != nil {
+			live = append(live, rn.handle)
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range live {
+		h.Cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.watchers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.sched.Close()
+	return s.st.Sync()
+}
+
+// runNumber parses the numeric suffix of a "run-N" ID, -1 otherwise.
+func runNumber(id string) int {
+	rest, ok := strings.CutPrefix(id, "run-")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// submitRequest is the POST /runs body. Zero values mean: every
+// registered experiment, seed {1}, unsharded, store reuse on.
+type submitRequest struct {
+	IDs       []string `json:"ids,omitempty"`
+	Seeds     []int64  `json:"seeds,omitempty"`
+	ShardRows bool     `json:"shard_rows,omitempty"`
+	BatchRows int      `json:"batch_rows,omitempty"`
+	// Resume defaults to true: the service exists to reuse the store.
+	// Outputs are bit-identical either way (invariant 6), so disabling
+	// it only forces recomputation.
+	Resume *bool `json:"resume,omitempty"`
+}
+
+// runStatus is the status JSON served for one run.
+type runStatus struct {
+	ID             string        `json:"id"`
+	Status         string        `json:"status"`
+	Spec           store.RunSpec `json:"spec"`
+	Error          string        `json:"error,omitempty"`
+	Progress       *progressJSON `json:"progress,omitempty"`
+	ReusedCells    int           `json:"reused_cells,omitempty"`
+	ComputedCells  int           `json:"computed_cells,omitempty"`
+	CreatedUnixNs  int64         `json:"created_unix_ns"`
+	FinishedUnixNs int64         `json:"finished_unix_ns,omitempty"`
+	ResultURL      string        `json:"result_url,omitempty"`
+}
+
+// progressJSON is the live job-slot progress of a running submission.
+type progressJSON struct {
+	TotalJobs int `json:"total_jobs"`
+	DoneJobs  int `json:"done_jobs"`
+}
+
+// handleSubmit accepts a run spec, records it, and submits it to the
+// shared scheduler.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	spec := experiments.RunSpec{
+		IDs:       req.IDs,
+		Seeds:     req.Seeds,
+		ShardRows: req.ShardRows,
+		BatchRows: req.BatchRows,
+		Resume:    req.Resume == nil || *req.Resume,
+	}
+	// Submissions live on the server's lifetime, not the request's: the
+	// response returns immediately while the run executes, so the run
+	// must not die with the POST context.
+	handle, err := s.sched.Submit(context.Background(), spec)
+	if err != nil {
+		if errors.Is(err, experiments.ErrSchedulerClosed) {
+			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		handle.Cancel()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	id := fmt.Sprintf("run-%06d", s.nextID)
+	s.nextID++
+	norm := handle.Spec()
+	rec := &store.RunRecord{
+		ID: id,
+		Spec: store.RunSpec{
+			IDs: norm.IDs, Seeds: norm.Seeds,
+			ShardRows: norm.ShardRows, BatchRows: norm.BatchRows, Resume: norm.Resume,
+		},
+		Status:        StatusRunning,
+		CreatedUnixNs: s.now().UnixNano(),
+	}
+	rn := &run{rec: rec, handle: handle}
+	s.runs[id] = rn
+	s.watchers.Add(1)
+	s.mu.Unlock()
+	if err := s.st.PutRun(rec); err != nil {
+		// The run still executes and its cells still persist; only the
+		// run-level metadata is at risk. Say so rather than killing the
+		// submission.
+		s.logf("service: persisting run record %s: %v", id, err)
+	}
+	go s.watch(rn)
+	s.logf("service: %s submitted (%d experiments × %d seeds)", id, len(norm.IDs), len(norm.Seeds))
+	w.Header().Set("Location", "/runs/"+id)
+	writeJSON(w, http.StatusCreated, s.runStatusOf(rn))
+}
+
+// watch waits for one submission to finish, then updates its durable
+// record and caches the report for result serving.
+func (s *Server) watch(rn *run) {
+	defer s.watchers.Done()
+	rep, err := rn.handle.Report()
+	s.mu.Lock()
+	rec := rn.rec
+	rec.FinishedUnixNs = s.now().UnixNano()
+	switch {
+	case err == nil:
+		rec.Status = StatusDone
+	case errors.Is(err, context.Canceled):
+		rec.Status = StatusCancelled
+		rec.Error = err.Error()
+	default:
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+	}
+	if rep != nil {
+		rec.ReusedCells = rep.ReusedCells
+		rec.ComputedCells = rep.ComputedCells
+	}
+	s.mu.Unlock()
+	if perr := s.st.PutRun(rec); perr != nil {
+		s.logf("service: persisting run record %s: %v", rec.ID, perr)
+	}
+	if serr := s.st.Sync(); serr != nil {
+		s.logf("service: syncing store: %v", serr)
+	}
+	s.logf("service: %s %s", rec.ID, rec.Status)
+}
+
+// runStatusOf builds the status JSON for one run (locks internally).
+func (s *Server) runStatusOf(rn *run) runStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := rn.rec
+	st := runStatus{
+		ID:             rec.ID,
+		Status:         rec.Status,
+		Spec:           rec.Spec,
+		Error:          rec.Error,
+		ReusedCells:    rec.ReusedCells,
+		ComputedCells:  rec.ComputedCells,
+		CreatedUnixNs:  rec.CreatedUnixNs,
+		FinishedUnixNs: rec.FinishedUnixNs,
+	}
+	if rec.Status == StatusDone {
+		st.ResultURL = "/runs/" + rec.ID + "/result"
+	}
+	if rn.handle != nil && rec.Status == StatusRunning {
+		p := rn.handle.Progress()
+		st.Progress = &progressJSON{TotalJobs: p.TotalJobs, DoneJobs: p.DoneJobs}
+	}
+	return st
+}
+
+// lookup resolves a run ID, or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*run, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rn, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no run %q", id))
+		return nil, false
+	}
+	return rn, true
+}
+
+// handleList serves every known run's status, sorted by ID.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]runStatus, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		rn := s.runs[id]
+		s.mu.Unlock()
+		if rn != nil {
+			out = append(out, s.runStatusOf(rn))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// handleStatus serves one run's status and live progress.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.runStatusOf(rn))
+}
+
+// handleResult serves a completed run's tables. The bytes are exactly
+// what llama-bench prints for the same spec — both render through
+// Report.WriteTables — and a restarted server reconstructs the report
+// from the store's cell records, so the bytes survive restarts too
+// (invariant 7).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "csv"
+	}
+	var contentType string
+	switch format {
+	case "csv":
+		contentType = "text/csv; charset=utf-8"
+	case "json":
+		contentType = "application/json"
+	case "text":
+		contentType = "text/plain; charset=utf-8"
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want csv, json or text)", format))
+		return
+	}
+	s.mu.Lock()
+	status := rn.rec.Status
+	s.mu.Unlock()
+	if status != StatusDone {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("run %s is %s; results are served once it is done", rn.rec.ID, status))
+		return
+	}
+	rep, err := s.reportFor(r.Context(), rn)
+	if err != nil {
+		if errors.Is(err, experiments.ErrSchedulerClosed) {
+			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("reloading %s from the store: %v", rn.rec.ID, err))
+		return
+	}
+	// Render to a buffer first so a mid-render failure becomes a clean
+	// error response instead of a torn body.
+	var buf bytes.Buffer
+	if err := rep.WriteTables(&buf, format); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// reportFor reconstructs the run's report from the store through the
+// scheduler, forcing Resume: every cell of a done run is already
+// persisted, so the engine decodes rather than recomputes, and
+// invariant 6 makes the reconstructed bytes identical to the original
+// run's — whether this process computed the run or inherited it across
+// a restart. Rebuilding per request (instead of caching reports in
+// memory) keeps a long-lived server's footprint bounded; the store IS
+// the result cache.
+func (s *Server) reportFor(ctx context.Context, rn *run) (*experiments.Report, error) {
+	s.mu.Lock()
+	spec := rn.rec.Spec
+	s.mu.Unlock()
+	handle, err := s.sched.Submit(ctx, experiments.RunSpec{
+		IDs: spec.IDs, Seeds: spec.Seeds,
+		ShardRows: spec.ShardRows, BatchRows: spec.BatchRows,
+		Resume: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return handle.Report()
+}
+
+// handleDelete cancels a live run (202; its record then reads
+// cancelled, with completed cells persisted) or deletes a finished
+// run's record (204; cell records stay, they are shared across runs).
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	live := rn.handle != nil && rn.rec.Status == StatusRunning
+	id := rn.rec.ID
+	s.mu.Unlock()
+	if live {
+		rn.handle.Cancel()
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "cancelling"})
+		return
+	}
+	if err := s.st.DeleteRun(id); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
+	delete(s.runs, id)
+	s.mu.Unlock()
+	s.logf("service: %s deleted", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealthz is the liveness probe: the run registry's size doubles
+// as a cheap functional check that the store was listable at startup.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.runs)
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": !closed, "runs": n, "store": s.st.Dir()})
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr emits one JSON error response.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,219 @@
+package store
+
+// Run records: the durable metadata layer the llama-serve service sits
+// on. Cell records (store.go) persist each (experiment, seed) table;
+// run records persist each *submission* — its spec, lifecycle status
+// and cell counts — under DIR/runs/, so a restarted server re-lists
+// every run it ever accepted and re-serves completed results from the
+// cell records alone. A run record never carries result bytes: the
+// result of a completed run is always reconstructed from its cells,
+// which is what makes re-served output bit-identical to the original
+// (determinism invariant 7 builds on invariant 6).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RunSchemaVersion is the run-record format this package writes.
+const RunSchemaVersion = 1
+
+// RunSpec mirrors the engine's submission shape (experiments.RunSpec)
+// field-for-field. It is declared here rather than aliased because the
+// store sits below the experiments package in the layer diagram and
+// must not import upward.
+type RunSpec struct {
+	// IDs are the resolved experiment IDs the run executes.
+	IDs []string `json:"ids"`
+	// Seeds are the replication seeds.
+	Seeds []int64 `json:"seeds"`
+	// ShardRows and BatchRows record the fan-out shape (outputs are
+	// bit-identical across all of them).
+	ShardRows bool `json:"shard_rows,omitempty"`
+	BatchRows int  `json:"batch_rows,omitempty"`
+	// Resume records whether the run consulted the store before
+	// queueing cells.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// RunRecord is the persisted lifecycle of one submitted run.
+type RunRecord struct {
+	// Schema is the record format version (RunSchemaVersion when written
+	// by this package).
+	Schema int `json:"schema"`
+	// ID is the run identifier the service assigned (e.g. "run-000003").
+	ID string `json:"id"`
+	// Spec is the normalized submission the run executes.
+	Spec RunSpec `json:"spec"`
+	// Status is the lifecycle state, owned by the service layer
+	// (running / done / failed / cancelled / interrupted); the store
+	// treats it as opaque.
+	Status string `json:"status"`
+	// Error carries the run error for failed/cancelled/interrupted runs.
+	Error string `json:"error,omitempty"`
+	// CreatedUnixNs and FinishedUnixNs bound the run's wall-clock life.
+	CreatedUnixNs  int64 `json:"created_unix_ns"`
+	FinishedUnixNs int64 `json:"finished_unix_ns,omitempty"`
+	// ReusedCells and ComputedCells record how much of the run was
+	// answered from the store versus computed fresh.
+	ReusedCells   int `json:"reused_cells,omitempty"`
+	ComputedCells int `json:"computed_cells,omitempty"`
+
+	// Path is where the record was read from or written to; set by
+	// GetRun/PutRun/ListRuns, never serialized.
+	Path string `json:"-"`
+}
+
+// RunNotFoundError reports that no run record exists for an ID.
+type RunNotFoundError struct {
+	// ID is the missing run; Path is where its record would live.
+	ID   string
+	Path string
+}
+
+// Error implements error.
+func (e *RunNotFoundError) Error() string {
+	return fmt.Sprintf("store: no run record for %s at %s", e.ID, e.Path)
+}
+
+// IsRunNotFound reports whether err means "run never recorded" (as
+// opposed to recorded but unreadable).
+func IsRunNotFound(err error) bool {
+	var nf *RunNotFoundError
+	return errors.As(err, &nf)
+}
+
+// runsDir returns the directory run records live in.
+func (s *Store) runsDir() string { return filepath.Join(s.dir, "runs") }
+
+// RunPath returns the path the record for a run ID lives at, whether or
+// not it exists yet. IDs are path-escaped like cell IDs, so a hostile
+// run ID can never traverse directories.
+func (s *Store) RunPath(id string) string {
+	return filepath.Join(s.runsDir(), url.PathEscape(id)+".json")
+}
+
+// PutRun atomically persists one run record (temp file + fsync +
+// rename, like cell records), stamping its Schema and Path. Unlike cell
+// puts, run records are not manifest-tracked: ListRuns scans the runs
+// directory, so there is nothing to Sync.
+func (s *Store) PutRun(rec *RunRecord) error {
+	if rec == nil || rec.ID == "" {
+		return errors.New("store: PutRun needs a record with an ID")
+	}
+	if err := os.MkdirAll(s.runsDir(), 0o755); err != nil {
+		return fmt.Errorf("store: create %s: %w", s.runsDir(), err)
+	}
+	rec.Schema = RunSchemaVersion
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode run %s: %w", rec.ID, err)
+	}
+	path := s.RunPath(rec.ID)
+	if err := writeFileAtomic(path, append(line, '\n')); err != nil {
+		return fmt.Errorf("store: write run %s: %w", rec.ID, err)
+	}
+	rec.Path = path
+	return nil
+}
+
+// GetRun loads and validates the record for a run ID. It returns a
+// *RunNotFoundError when the run was never recorded, and a
+// *CorruptError (with Seed 0) naming the path when a record exists but
+// is truncated, unparseable, schema-mismatched or mislabelled.
+func (s *Store) GetRun(id string) (*RunRecord, error) {
+	path := s.RunPath(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &RunNotFoundError{ID: id, Path: path}
+		}
+		return nil, &CorruptError{ID: id, Path: path, Err: err}
+	}
+	rec, err := decodeRunRecord(data)
+	if err != nil {
+		return nil, &CorruptError{ID: id, Path: path, Err: err}
+	}
+	if rec.ID != id {
+		return nil, &CorruptError{ID: id, Path: path,
+			Err: fmt.Errorf("record labelled %s", rec.ID)}
+	}
+	rec.Path = path
+	return rec, nil
+}
+
+// ListRuns returns every readable run record, sorted by ID. Unreadable
+// records are skipped — they stay on disk as evidence and surface as
+// *CorruptError from GetRun — so a single damaged record never hides
+// the rest.
+func (s *Store) ListRuns() ([]*RunRecord, error) {
+	entries, err := os.ReadDir(s.runsDir())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // no run was ever recorded
+		}
+		return nil, fmt.Errorf("store: scan %s: %w", s.runsDir(), err)
+	}
+	var out []*RunRecord
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(s.runsDir(), name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		rec, err := decodeRunRecord(data)
+		if err != nil {
+			continue
+		}
+		if name != url.PathEscape(rec.ID)+".json" {
+			continue // mislabelled file: evidence for GetRun, not a listing
+		}
+		rec.Path = path
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// DeleteRun removes a run's record. Deleting a run never touches cell
+// records — cells are shared across runs, and a re-submitted spec
+// reuses them. Deleting an unrecorded run is a no-op.
+func (s *Store) DeleteRun(id string) error {
+	if err := os.Remove(s.RunPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete run %s: %w", id, err)
+	}
+	return nil
+}
+
+// decodeRunRecord parses one single-line run record, enforcing the
+// schema version.
+func decodeRunRecord(data []byte) (*RunRecord, error) {
+	trimmed := strings.TrimRight(string(data), "\n")
+	if trimmed == "" {
+		return nil, errors.New("empty run record file")
+	}
+	if strings.Contains(trimmed, "\n") {
+		return nil, errors.New("run record file holds more than one line")
+	}
+	var rec RunRecord
+	if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+		return nil, fmt.Errorf("truncated or invalid JSON: %v", err)
+	}
+	if rec.Schema != RunSchemaVersion {
+		return nil, fmt.Errorf("run schema version %d, want %d", rec.Schema, RunSchemaVersion)
+	}
+	if rec.ID == "" {
+		return nil, errors.New("run record has no ID")
+	}
+	return &rec, nil
+}

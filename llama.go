@@ -34,6 +34,7 @@ import (
 	"github.com/llama-surface/llama/internal/core"
 	"github.com/llama-surface/llama/internal/experiments"
 	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/store"
 	"github.com/llama-surface/llama/internal/units"
 )
 
@@ -291,6 +292,42 @@ func RunExperiment(ctx context.Context, id string, seed int64) (*ExperimentResul
 // to a serial run regardless of concurrency or sharding.
 func RunExperiments(ctx context.Context, opts ExperimentOptions) (*ExperimentReport, error) {
 	return experiments.Execute(ctx, opts)
+}
+
+// ExperimentRunSpec describes one scheduler submission: experiment IDs
+// (nil = all), replication seeds (nil = {1}), row sharding/batching,
+// and whether to resume from the scheduler's results store.
+type ExperimentRunSpec = experiments.RunSpec
+
+// ExperimentRunHandle tracks one submitted run: Progress while it
+// executes, Cancel to stop it (completed cells still persist), Done to
+// wait, and Report for the finished tables.
+type ExperimentRunHandle = experiments.RunHandle
+
+// ExperimentProgress is a point-in-time snapshot of a submitted run.
+type ExperimentProgress = experiments.Progress
+
+// ExperimentScheduler is the long-lived execution core under
+// RunExperiments and cmd/llama-serve: one bounded worker pool serving
+// many concurrent submissions, each bit-identical to a serial run of
+// the same spec regardless of what shares the pool.
+type ExperimentScheduler = experiments.Scheduler
+
+// NewExperimentScheduler starts a long-lived scheduler: workers bounds
+// the shared pool (≤0 = GOMAXPROCS) and storeDir, when non-empty, opens
+// (creating if needed) the durable results store the scheduler persists
+// into and resumes from. Close the scheduler to release the pool;
+// completed cells of in-flight submissions persist on Close.
+func NewExperimentScheduler(workers int, storeDir string) (*ExperimentScheduler, error) {
+	cfg := experiments.SchedulerConfig{Workers: workers}
+	if storeDir != "" {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("llama: %w", err)
+		}
+		cfg.Store = st
+	}
+	return experiments.NewScheduler(cfg), nil
 }
 
 // RangeExtension converts a link-budget gain in dB to the Friis range
