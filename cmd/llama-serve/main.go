@@ -9,19 +9,23 @@
 //
 // Usage:
 //
-//	llama-serve -store DIR                serve on :8080 backed by DIR
-//	llama-serve -store DIR -addr :9000    choose the listen address
-//	llama-serve -store DIR -workers 4     bound the shared worker pool
-//	llama-serve -store DIR -drain 1m      bound the shutdown drain
+//	llama-serve -store DIR                   serve on :8080 backed by DIR
+//	llama-serve -store DIR -addr :9000       choose the listen address
+//	llama-serve -store DIR -workers 4        bound the shared worker pool
+//	llama-serve -store DIR -drain 1m         bound the shutdown drain
+//	llama-serve -store DIR -max-queued 64    refuse submissions past the bound (429)
+//	llama-serve -store DIR -retention 168h   enable POST /admin/gc with a week's retention
 //
 // Endpoints (see internal/service):
 //
 //	POST   /runs                      {"ids":["fig15"],"seeds":[1,2,3]}
 //	GET    /runs                      list runs
 //	GET    /runs/{id}                 status + progress
+//	GET    /runs/{id}/events          live status/progress stream (SSE)
 //	GET    /runs/{id}/result?format=csv|json|text
 //	DELETE /runs/{id}                 cancel / delete
-//	GET    /healthz                   liveness
+//	POST   /admin/gc                  drop unreferenced cells older than -retention
+//	GET    /healthz                   liveness (503 while draining)
 //
 // SIGINT/SIGTERM drains gracefully: in-flight runs are cancelled and
 // their completed cells persist to the store, so a later identical
@@ -47,10 +51,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		storeDir = flag.String("store", "", "durable results store directory (created if missing; required)")
-		workers  = flag.Int("workers", 0, "worker pool width shared by all runs (0 = GOMAXPROCS)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to wait for in-flight runs to salvage and persist")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		storeDir  = flag.String("store", "", "durable results store directory (created if missing; required)")
+		workers   = flag.Int("workers", 0, "worker pool width shared by all runs (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to wait for in-flight runs to salvage and persist")
+		maxQueued = flag.Int("max-queued", 0, "submissions allowed in flight at once; beyond it POST /runs gets 429 + Retry-After (0 = unbounded)")
+		retention = flag.Duration("retention", 0, "POST /admin/gc removes cells unreferenced by any run and older than this (0 disables gc)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -64,7 +70,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc, err := service.New(service.Config{Store: st, Workers: *workers, Logf: log.Printf})
+	svc, err := service.New(service.Config{
+		Store: st, Workers: *workers, Logf: log.Printf,
+		MaxQueued: *maxQueued, Retention: *retention,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -534,7 +534,7 @@ func (e *Engine) run(ctx context.Context, seeds []int64) (*Report, error) {
 	}
 	s := NewScheduler(SchedulerConfig{Workers: e.workers(len(sub.queue)), Store: e.Store})
 	defer s.Close()
-	if err := s.launch(sub); err != nil {
+	if err := s.launch(sub, laneNormal); err != nil {
 		return nil, err
 	}
 	<-sub.done

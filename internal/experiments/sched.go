@@ -71,20 +71,40 @@ type SchedulerConfig struct {
 	Store *store.Store
 }
 
-// Scheduler owns one bounded worker pool and the job queue behind it,
-// shared by every submission. It is long-lived: create one, Submit many
-// runs concurrently, Close once. Methods are safe for concurrent use.
+// Dispatch lanes: the priority lane is always served before the normal
+// lane, and within each lane submissions are served round-robin, one
+// job at a time — so one huge submission cannot starve its neighbours,
+// and a decode-heavy reconstruction (the service's result path) never
+// queues behind live compute.
+const (
+	lanePriority = iota
+	laneNormal
+	laneCount
+)
+
+// Scheduler owns one bounded worker pool and the per-submission job
+// queues behind it. Dispatch is round-robin across the submissions of a
+// lane (fairness) with the priority lane drained first. It is
+// long-lived: create one, Submit many runs concurrently, Close once.
+// Methods are safe for concurrent use.
 type Scheduler struct {
 	workers int
 	st      *store.Store
 
-	jobs chan schedJob
 	pool sync.WaitGroup // worker goroutines
 
-	mu     sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when a lane gains work or the pool stops
+
 	active map[*submission]struct{}
-	closed bool
-	subs   sync.WaitGroup // feeders + finalizers of live submissions
+	// lanes are the dispatch rings: FIFOs of submissions that still have
+	// unfed jobs. A worker takes the front submission's next job and, if
+	// the submission has more, re-appends it at the back — that rotation
+	// is the round-robin.
+	lanes   [laneCount][]*submission
+	closed  bool           // no new submissions
+	stopped bool           // workers may exit (set after the last submission drains)
+	subs    sync.WaitGroup // finalizers of live submissions
 }
 
 // NewScheduler starts the worker pool. Close must be called to release
@@ -97,9 +117,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	s := &Scheduler{
 		workers: w,
 		st:      cfg.Store,
-		jobs:    make(chan schedJob),
 		active:  make(map[*submission]struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.pool.Add(w)
 	for i := 0; i < w; i++ {
 		go s.worker()
@@ -114,35 +134,121 @@ func (s *Scheduler) Store() *store.Store { return s.st }
 // Workers returns the resolved pool width.
 func (s *Scheduler) Workers() int { return s.workers }
 
-// worker pulls jobs off the shared queue until Close drains the pool.
-// Jobs from different submissions interleave freely; each job writes
-// only its own pre-assigned slot.
+// worker pulls jobs off the dispatch rings until Close stops the pool.
+// Jobs from different submissions interleave round-robin; each job
+// writes only its own pre-assigned slot.
 func (s *Scheduler) worker() {
 	defer s.pool.Done()
-	for jb := range s.jobs {
+	for {
+		jb, ok := s.next()
+		if !ok {
+			return
+		}
 		jb.sub.execute(jb)
 	}
 }
 
-// Submit validates and lays out spec, enqueues its jobs behind whatever
-// is already running, and returns a handle immediately. The submission's
-// output is bit-identical to what Execute would produce for the same
-// spec, regardless of what else shares the pool. ctx cancellation (or
-// RunHandle.Cancel) stops the submission without touching its
-// neighbours.
+// next blocks until a job is dispatchable and returns it, or returns
+// false once the pool is stopped. The priority lane is drained first;
+// within a lane the front submission yields one job and rotates to the
+// back, so concurrent submissions advance in lockstep regardless of
+// size.
+func (s *Scheduler) next() (schedJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for lane := range s.lanes {
+			if len(s.lanes[lane]) == 0 {
+				continue
+			}
+			sub := s.lanes[lane][0]
+			s.lanes[lane] = s.lanes[lane][1:]
+			jb := sub.queue[sub.nextJob]
+			sub.nextJob++
+			if sub.nextJob < len(sub.queue) {
+				s.lanes[lane] = append(s.lanes[lane], sub)
+			} else {
+				sub.inRing = false
+				close(sub.fed) // every job dispatched; release the cancel watcher
+			}
+			return jb, true
+		}
+		if s.stopped {
+			return schedJob{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// abandon removes a cancelled submission's undispatched jobs from its
+// ring and accounts them as done, so the submission finalizes promptly
+// even while every worker is busy elsewhere. Jobs already dispatched
+// account for themselves in execute.
+func (s *Scheduler) abandon(sub *submission) {
+	s.mu.Lock()
+	n := len(sub.queue) - sub.nextJob
+	sub.nextJob = len(sub.queue)
+	if sub.inRing {
+		ring := s.lanes[sub.lane]
+		for i, x := range ring {
+			if x == sub {
+				s.lanes[sub.lane] = append(ring[:i], ring[i+1:]...)
+				break
+			}
+		}
+		sub.inRing = false
+		close(sub.fed)
+	}
+	s.mu.Unlock()
+	sub.jobDone(n)
+}
+
+// watchCancel abandons the submission's unfed jobs the moment its
+// context dies; it exits quietly once every job has been dispatched.
+func (sub *submission) watchCancel(s *Scheduler) {
+	select {
+	case <-sub.ctx.Done():
+		s.abandon(sub)
+	case <-sub.fed:
+	}
+}
+
+// Submit validates and lays out spec, enqueues its jobs on the normal
+// lane behind whatever is already running, and returns a handle
+// immediately. The submission's output is bit-identical to what Execute
+// would produce for the same spec, regardless of what else shares the
+// pool. ctx cancellation (or RunHandle.Cancel) stops the submission
+// without touching its neighbours.
 func (s *Scheduler) Submit(ctx context.Context, spec RunSpec) (*RunHandle, error) {
+	return s.submit(ctx, spec, laneNormal)
+}
+
+// SubmitPriority is Submit on the priority lane: its jobs are
+// dispatched before any normal-lane job (round-robin among priority
+// submissions). It exists for latency-sensitive reconstruction work —
+// the service re-serves a completed run by decoding stored cells, and
+// the few jobs such a submission queues (only cells the store lost)
+// must not wait behind hours of live compute. Output bytes are
+// unaffected by the lane (determinism invariant 3).
+func (s *Scheduler) SubmitPriority(ctx context.Context, spec RunSpec) (*RunHandle, error) {
+	return s.submit(ctx, spec, lanePriority)
+}
+
+// submit is the shared Submit/SubmitPriority body.
+func (s *Scheduler) submit(ctx context.Context, spec RunSpec, lane int) (*RunHandle, error) {
 	sub, err := newSubmission(ctx, spec, s.st)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.launch(sub); err != nil {
+	if err := s.launch(sub, lane); err != nil {
 		return nil, err
 	}
 	return &RunHandle{sub: sub}, nil
 }
 
-// launch registers a laid-out submission and starts feeding its jobs.
-func (s *Scheduler) launch(sub *submission) error {
+// launch registers a laid-out submission and makes its jobs
+// dispatchable on the given lane.
+func (s *Scheduler) launch(sub *submission, lane int) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -154,22 +260,28 @@ func (s *Scheduler) launch(sub *submission) error {
 	// The response-cache counters are process-global, so per-job deltas
 	// are attributable only when exactly one job runs at a time.
 	sub.trackCache = s.workers == 1
+	sub.lane = lane
 	s.active[sub] = struct{}{}
 	s.subs.Add(1)
-	s.mu.Unlock()
 	if len(sub.queue) == 0 {
 		// Fully resumed from the store (or an empty selection): nothing
-		// to feed, finalize straight away.
+		// to dispatch, finalize straight away — the pool is never touched,
+		// so decode-only reconstructions cannot queue behind compute.
+		s.mu.Unlock()
 		go sub.finish()
 		return nil
 	}
-	go sub.feed(s)
+	sub.inRing = true
+	s.lanes[lane] = append(s.lanes[lane], sub)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	go sub.watchCancel(s)
 	return nil
 }
 
 // Close cancels every live submission, waits for them to finalize
 // (completed cells of in-flight runs persist to the store — the salvage
-// path), then drains and releases the worker pool. Safe to call more
+// path), then stops and releases the worker pool. Safe to call more
 // than once.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
@@ -187,7 +299,10 @@ func (s *Scheduler) Close() {
 		sub.cancelFn()
 	}
 	s.subs.Wait()
-	close(s.jobs)
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	s.pool.Wait()
 }
 
@@ -218,6 +333,15 @@ type submission struct {
 	st         *store.Store
 	workers    int
 	trackCache bool
+
+	// Dispatch state, guarded by the scheduler's mu: the lane the
+	// submission queues on, the index of its next undispatched job, and
+	// whether it currently sits in its lane's ring. fed is closed once
+	// every job has been dispatched or abandoned, releasing watchCancel.
+	lane    int
+	nextJob int
+	inRing  bool
+	fed     chan struct{}
 
 	start      time.Time
 	cacheStart metasurface.CacheStats
@@ -268,6 +392,7 @@ func newSubmission(ctx context.Context, spec RunSpec, st *store.Store) (*submiss
 		ctx:        runCtx,
 		cancelFn:   cancel,
 		st:         st,
+		fed:        make(chan struct{}),
 		start:      time.Now(),
 		cacheStart: metasurface.GlobalCacheStats(),
 		done:       make(chan struct{}),
@@ -324,21 +449,6 @@ func newSubmission(ctx context.Context, spec RunSpec, st *store.Store) (*submiss
 		}
 	}
 	return sub, nil
-}
-
-// feed pushes the submission's jobs into the shared queue in layout
-// order. On cancellation the unfed remainder is abandoned — those slots
-// simply never ran, exactly like the old engine's fail-fast feed loop —
-// and accounted so the submission still finalizes.
-func (sub *submission) feed(s *Scheduler) {
-	for i := range sub.queue {
-		select {
-		case s.jobs <- sub.queue[i]:
-		case <-sub.ctx.Done():
-			sub.jobDone(len(sub.queue) - i)
-			return
-		}
-	}
 }
 
 // execute runs one job on a pool worker, writing only the job's own

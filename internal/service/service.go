@@ -14,9 +14,19 @@
 //	POST   /runs                     submit {ids, seeds, shard_rows, batch_rows, resume}
 //	GET    /runs                     list runs
 //	GET    /runs/{id}                status + progress
+//	GET    /runs/{id}/events         live status/progress stream (server-sent events)
 //	GET    /runs/{id}/result?format= fetch tables (csv, json or text; default csv)
 //	DELETE /runs/{id}                cancel a live run / delete a finished run's record
-//	GET    /healthz                  liveness + run counts
+//	POST   /admin/gc                 drop cells unreferenced by any run and older than the retention window
+//	GET    /healthz                  liveness + run counts (503 once draining)
+//
+// The server is built for sustained traffic: submissions beyond
+// Config.MaxQueued are refused with 429 + Retry-After instead of
+// queueing without bound, result reconstruction rides the scheduler's
+// priority lane so it never waits behind live compute, and run-record
+// writes are sequence-versioned so a DELETE can never be undone by an
+// in-flight watcher write (determinism invariant 8: lifecycle traffic
+// never changes result bytes).
 package service
 
 import (
@@ -67,21 +77,37 @@ type Config struct {
 	// Now supplies run-record timestamps; nil means time.Now. Tests pin
 	// it for stable records.
 	Now func() time.Time
+	// MaxQueued bounds the submissions in flight (queued + executing)
+	// at once; further POST /runs get 429 + Retry-After until one
+	// finishes. ≤0 means unbounded.
+	MaxQueued int
+	// Retention is the POST /admin/gc policy: cells unreferenced by any
+	// run record and older than this are removed. ≤0 disables GC (the
+	// endpoint answers 409).
+	Retention time.Duration
+	// EventPoll is the sampling interval for /runs/{id}/events progress
+	// frames; ≤0 means 200ms. Terminal transitions are pushed promptly
+	// regardless.
+	EventPoll time.Duration
 }
 
 // Server is the HTTP service: one shared Scheduler, one Store, and the
 // run registry mapping IDs to live handles and durable records. It
 // implements http.Handler.
 type Server struct {
-	st    *store.Store
-	sched *experiments.Scheduler
-	mux   *http.ServeMux
-	logf  func(format string, args ...any)
-	now   func() time.Time
+	st        *store.Store
+	sched     *experiments.Scheduler
+	mux       *http.ServeMux
+	logf      func(format string, args ...any)
+	now       func() time.Time
+	maxQueued int
+	retention time.Duration
+	eventPoll time.Duration
 
 	mu       sync.Mutex
 	runs     map[string]*run
 	nextID   int
+	live     int // submissions in flight, bounded by maxQueued
 	closed   bool
 	watchers sync.WaitGroup
 }
@@ -92,9 +118,26 @@ type Server struct {
 // report from the store (see reportFor), so a long-lived server's
 // footprint is bounded by the runs in flight, not the runs it has ever
 // served.
+//
+// Record writes are ordered by (seq, persisted, deleted), all guarded
+// by the server mutex: every in-memory mutation bumps seq, persistRun
+// writes only when seq is ahead of persisted, and deleted is a
+// tombstone no later write may cross. persistMu serializes the disk
+// writes themselves (and DELETE's removal) without holding the server
+// mutex across I/O. Without this ordering a DELETE racing the
+// watcher's terminal write resurrects the record on disk.
 type run struct {
 	rec    *store.RunRecord
 	handle *experiments.RunHandle
+
+	seq       int
+	persisted int
+	deleted   bool
+	persistMu sync.Mutex
+	// finished is closed when the run reaches a terminal status, so
+	// event streams push the final frame promptly instead of waiting
+	// out a poll tick.
+	finished chan struct{}
 }
 
 // New builds a Server over cfg.Store, re-listing every run the store
@@ -107,11 +150,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("service: Config.Store is required")
 	}
 	s := &Server{
-		st:    cfg.Store,
-		sched: experiments.NewScheduler(experiments.SchedulerConfig{Workers: cfg.Workers, Store: cfg.Store}),
-		logf:  cfg.Logf,
-		now:   cfg.Now,
-		runs:  make(map[string]*run),
+		st:        cfg.Store,
+		sched:     experiments.NewScheduler(experiments.SchedulerConfig{Workers: cfg.Workers, Store: cfg.Store}),
+		logf:      cfg.Logf,
+		now:       cfg.Now,
+		maxQueued: cfg.MaxQueued,
+		retention: cfg.Retention,
+		eventPoll: cfg.EventPoll,
+		runs:      make(map[string]*run),
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -119,11 +165,19 @@ func New(cfg Config) (*Server, error) {
 	if s.now == nil {
 		s.now = time.Now
 	}
+	if s.eventPoll <= 0 {
+		s.eventPoll = 200 * time.Millisecond
+	}
 	recs, err := cfg.Store.ListRuns()
 	if err != nil {
 		s.sched.Close()
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	// Every re-listed run is terminal (running ones were just marked
+	// interrupted), so their finished channels start closed and their
+	// on-disk records are already current (persisted == seq).
+	relisted := make(chan struct{})
+	close(relisted)
 	for _, rec := range recs {
 		if rec.Status == StatusRunning {
 			rec.Status = StatusInterrupted
@@ -132,7 +186,7 @@ func New(cfg Config) (*Server, error) {
 				s.logf("service: marking %s interrupted: %v", rec.ID, err)
 			}
 		}
-		s.runs[rec.ID] = &run{rec: rec}
+		s.runs[rec.ID] = &run{rec: rec, seq: 1, persisted: 1, finished: relisted}
 		if n := runNumber(rec.ID); n >= s.nextID {
 			s.nextID = n + 1
 		}
@@ -142,8 +196,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /runs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
+	mux.HandleFunc("POST /admin/gc", s.handleGC)
 	s.mux = mux
 	return s, nil
 }
@@ -235,13 +291,20 @@ type progressJSON struct {
 }
 
 // handleSubmit accepts a run spec, records it, and submits it to the
-// shared scheduler.
+// shared scheduler. Admission is bounded: when Config.MaxQueued
+// submissions are already in flight, the request is refused with 429 +
+// Retry-After instead of queueing without bound.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds the 1 MiB limit")
+			return
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
@@ -252,11 +315,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		BatchRows: req.BatchRows,
 		Resume:    req.Resume == nil || *req.Resume,
 	}
+	// Reserve an admission slot before touching the scheduler so the
+	// in-flight bound can never be overshot by concurrent submitters.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.maxQueued > 0 && s.live >= s.maxQueued {
+		n := s.live
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("%d submissions already in flight (limit %d); retry shortly", n, s.maxQueued))
+		return
+	}
+	s.live++
+	s.mu.Unlock()
+	release := func() {
+		s.mu.Lock()
+		s.live--
+		s.mu.Unlock()
+	}
 	// Submissions live on the server's lifetime, not the request's: the
 	// response returns immediately while the run executes, so the run
 	// must not die with the POST context.
 	handle, err := s.sched.Submit(context.Background(), spec)
 	if err != nil {
+		release()
 		if errors.Is(err, experiments.ErrSchedulerClosed) {
 			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
@@ -267,7 +354,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// The submission raced Shutdown past the admission check. Cancel
+		// AND drain it so nothing outlives the 503 — Shutdown's snapshot
+		// of live handles was already taken, so nobody else will wait
+		// this one out.
 		handle.Cancel()
+		<-handle.Done()
+		release()
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -283,24 +376,56 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Status:        StatusRunning,
 		CreatedUnixNs: s.now().UnixNano(),
 	}
-	rn := &run{rec: rec, handle: handle}
+	rn := &run{rec: rec, handle: handle, seq: 1, finished: make(chan struct{})}
 	s.runs[id] = rn
 	s.watchers.Add(1)
 	s.mu.Unlock()
-	if err := s.st.PutRun(rec); err != nil {
-		// The run still executes and its cells still persist; only the
-		// run-level metadata is at risk. Say so rather than killing the
-		// submission.
-		s.logf("service: persisting run record %s: %v", id, err)
-	}
+	// The initial record lands on disk before the watcher starts, so the
+	// watcher's terminal write (seq 2) is always ordered after it.
+	s.persistRun(rn)
 	go s.watch(rn)
 	s.logf("service: %s submitted (%d experiments × %d seeds)", id, len(norm.IDs), len(norm.Seeds))
 	w.Header().Set("Location", "/runs/"+id)
 	writeJSON(w, http.StatusCreated, s.runStatusOf(rn))
 }
 
+// persistRun writes rn's record to the store iff its in-memory state is
+// ahead of what is on disk and the run has not been deleted. persistMu
+// serializes writers per run; the seq/persisted pair makes each write
+// at-most-once per mutation; the deleted tombstone (checked under the
+// same mutex that sets it) guarantees no write starts after DELETE has
+// removed the record — and DELETE in turn takes persistMu before
+// removing, so it also cannot overtake a write already in flight.
+func (s *Server) persistRun(rn *run) {
+	rn.persistMu.Lock()
+	defer rn.persistMu.Unlock()
+	s.mu.Lock()
+	if rn.deleted || rn.seq <= rn.persisted {
+		s.mu.Unlock()
+		return
+	}
+	seq := rn.seq
+	cp := *rn.rec
+	s.mu.Unlock()
+	if err := s.st.PutRun(&cp); err != nil {
+		// The run still executes and its cells still persist; only the
+		// run-level metadata is at risk. Say so rather than killing the
+		// submission. persisted still advances: a failed write is not
+		// retried until the next mutation bumps seq.
+		s.logf("service: persisting run record %s: %v", cp.ID, err)
+	}
+	s.mu.Lock()
+	rn.rec.Path = cp.Path
+	if seq > rn.persisted {
+		rn.persisted = seq
+	}
+	s.mu.Unlock()
+}
+
 // watch waits for one submission to finish, then updates its durable
-// record and caches the report for result serving.
+// record and releases the run's admission slot. The terminal write
+// goes through persistRun, so it is ordered against the initial write
+// and suppressed entirely if the run was deleted in the meantime.
 func (s *Server) watch(rn *run) {
 	defer s.watchers.Done()
 	rep, err := rn.handle.Report()
@@ -321,14 +446,16 @@ func (s *Server) watch(rn *run) {
 		rec.ReusedCells = rep.ReusedCells
 		rec.ComputedCells = rep.ComputedCells
 	}
+	rn.seq++
+	s.live--
+	id, status := rec.ID, rec.Status
 	s.mu.Unlock()
-	if perr := s.st.PutRun(rec); perr != nil {
-		s.logf("service: persisting run record %s: %v", rec.ID, perr)
-	}
+	close(rn.finished)
+	s.persistRun(rn)
 	if serr := s.st.Sync(); serr != nil {
 		s.logf("service: syncing store: %v", serr)
 	}
-	s.logf("service: %s %s", rec.ID, rec.Status)
+	s.logf("service: %s %s", id, status)
 }
 
 // runStatusOf builds the status JSON for one run (locks internally).
@@ -461,12 +588,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // run's — whether this process computed the run or inherited it across
 // a restart. Rebuilding per request (instead of caching reports in
 // memory) keeps a long-lived server's footprint bounded; the store IS
-// the result cache.
+// the result cache. The reconstruction rides the scheduler's priority
+// lane: fully-persisted runs decode without touching the worker pool,
+// so a result fetch returns promptly even when the pool is saturated
+// with live compute.
 func (s *Server) reportFor(ctx context.Context, rn *run) (*experiments.Report, error) {
 	s.mu.Lock()
 	spec := rn.rec.Spec
 	s.mu.Unlock()
-	handle, err := s.sched.Submit(ctx, experiments.RunSpec{
+	handle, err := s.sched.SubmitPriority(ctx, experiments.RunSpec{
 		IDs: spec.IDs, Seeds: spec.Seeds,
 		ShardRows: spec.ShardRows, BatchRows: spec.BatchRows,
 		Resume: true,
@@ -486,33 +616,139 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if rn.deleted {
+		// A concurrent DELETE won the race after our lookup.
+		id := rn.rec.ID
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no run %q", id))
+		return
+	}
 	live := rn.handle != nil && rn.rec.Status == StatusRunning
 	id := rn.rec.ID
+	if !live {
+		// Tombstone under the same lock that guards seq/persisted: any
+		// persistRun from here on is a no-op, so the record cannot be
+		// resurrected after removal.
+		rn.deleted = true
+		delete(s.runs, id)
+	}
 	s.mu.Unlock()
 	if live {
 		rn.handle.Cancel()
 		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "cancelling"})
 		return
 	}
-	if err := s.st.DeleteRun(id); err != nil {
+	// persistMu orders the removal after any record write already in
+	// flight (the tombstone stops all later ones).
+	rn.persistMu.Lock()
+	err := s.st.DeleteRun(id)
+	rn.persistMu.Unlock()
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.mu.Lock()
-	delete(s.runs, id)
-	s.mu.Unlock()
 	s.logf("service: %s deleted", id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleHealthz is the liveness probe: the run registry's size doubles
 // as a cheap functional check that the store was listable at startup.
+// Once Shutdown begins the probe answers 503 — load balancers key on
+// the status code, and a draining server must stop receiving traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.runs)
 	closed := s.closed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"ok": !closed, "runs": n, "store": s.st.Dir()})
+	code := http.StatusOK
+	if closed {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ok": !closed, "runs": n, "store": s.st.Dir()})
+}
+
+// handleGC removes cells unreferenced by any run record and older than
+// the configured retention window (Config.Retention / llama-serve
+// -retention). Referenced and recent cells always survive, so GC never
+// changes the bytes any listed run serves (invariant 8).
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	if s.retention <= 0 {
+		writeErr(w, http.StatusConflict, "gc is disabled: start the server with a retention window (llama-serve -retention)")
+		return
+	}
+	res, err := s.st.GC(store.GCPolicy{MinAge: s.retention, Now: s.now()})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.logf("service: gc removed %d/%d cells (%d bytes)", res.Removed, res.Scanned, res.RemovedBytes)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// terminalStatus reports whether a run can no longer change status.
+func terminalStatus(status string) bool { return status != StatusRunning }
+
+// handleEvents streams one run's lifecycle as server-sent events: a
+// "status" frame immediately and on every status change (including a
+// prompt terminal frame via the run's finished channel), and a
+// "progress" frame whenever the sampled job counters move. The stream
+// ends with the terminal status frame, or when the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	writeEvent := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	cur := s.runStatusOf(rn)
+	writeEvent("status", cur)
+	if terminalStatus(cur.Status) {
+		return
+	}
+	lastStatus := cur.Status
+	lastDone := -1
+	if cur.Progress != nil {
+		lastDone = cur.Progress.DoneJobs
+	}
+	ticker := time.NewTicker(s.eventPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-rn.finished:
+			writeEvent("status", s.runStatusOf(rn))
+			return
+		case <-ticker.C:
+			cur = s.runStatusOf(rn)
+			switch {
+			case cur.Status != lastStatus:
+				lastStatus = cur.Status
+				writeEvent("status", cur)
+				if terminalStatus(cur.Status) {
+					return
+				}
+			case cur.Progress != nil && cur.Progress.DoneJobs != lastDone:
+				lastDone = cur.Progress.DoneJobs
+				writeEvent("progress", cur.Progress)
+			}
+		}
+	}
 }
 
 // writeJSON emits one JSON response.

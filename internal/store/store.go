@@ -309,6 +309,104 @@ func (s *Store) Sync() error {
 	return nil
 }
 
+// GCPolicy controls one Store.GC sweep.
+type GCPolicy struct {
+	// MinAge is the retention window: only cells saved at least MinAge
+	// before Now are candidates for removal. Recency stands in for
+	// liveness — a cell a concurrent writer persisted moments ago is
+	// never collected, whether or not its run record landed yet.
+	MinAge time.Duration
+	// Now anchors the age check; the zero value means time.Now(). Tests
+	// pin it to exercise retention without sleeping.
+	Now time.Time
+}
+
+// GCResult summarizes one GC sweep.
+type GCResult struct {
+	// Scanned counts the cell records considered.
+	Scanned int `json:"scanned"`
+	// Removed counts cell records deleted; RemovedBytes is their total
+	// on-disk size.
+	Removed int `json:"removed"`
+	// RemovedBytes is the disk space the sweep reclaimed.
+	RemovedBytes int64 `json:"removed_bytes"`
+	// Kept counts cells retained — referenced by a run record, or
+	// younger than the retention window.
+	Kept int `json:"kept"`
+}
+
+// GC removes cell records that no run record references and that are
+// older than the policy's retention window, so a long-lived server's
+// disk stays bounded by its live history instead of growing with every
+// spec it ever saw. A cell is referenced when any run record's spec
+// covers its (experiment, seed); deleting a run record (DELETE
+// /runs/{id}) is what releases its cells for a later sweep. Removal can
+// only ever cost recomputation, never correctness: a future run that
+// wants a collected cell recomputes it bit-identically (determinism
+// invariant 6). Safe for concurrent use with Put — each candidate is
+// re-read under the store lock immediately before removal, so a cell
+// re-written mid-sweep is seen fresh and kept.
+func (s *Store) GC(p GCPolicy) (GCResult, error) {
+	now := p.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	runs, err := s.ListRuns()
+	if err != nil {
+		return GCResult{}, err
+	}
+	referenced := make(map[string]struct{})
+	for _, rr := range runs {
+		for _, id := range rr.Spec.IDs {
+			for _, seed := range rr.Spec.Seeds {
+				referenced[cellFile(id, seed)] = struct{}{}
+			}
+		}
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.index))
+	for name := range s.index {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	res := GCResult{Scanned: len(names)}
+	for _, name := range names {
+		if _, ok := referenced[name]; ok {
+			res.Kept++
+			continue
+		}
+		path := filepath.Join(s.dir, "cells", name)
+		s.mu.Lock()
+		if _, ok := s.index[name]; !ok {
+			s.mu.Unlock()
+			continue // removed by a concurrent sweep
+		}
+		// Re-read under the lock: a concurrent Put may have just renamed a
+		// fresh record into place, and a fresh SavedUnixNs must veto removal.
+		rec, err := readRecord(path)
+		if err != nil || now.Sub(time.Unix(0, rec.Meta.SavedUnixNs)) < p.MinAge {
+			s.mu.Unlock()
+			res.Kept++
+			continue
+		}
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			s.mu.Unlock()
+			return res, fmt.Errorf("store: gc remove %s: %w", path, err)
+		}
+		delete(s.index, name)
+		s.dirty = true
+		s.mu.Unlock()
+		res.Removed++
+		res.RemovedBytes += size
+	}
+	return res, s.Sync()
+}
+
 // Get loads and validates the record for (id, seed). It returns a
 // *NotFoundError when the cell was never stored, and a *CorruptError —
 // naming the experiment, seed and path — when a record exists but is

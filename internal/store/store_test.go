@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // sampleRecord builds a record whose cells cover every float64 shape the
@@ -322,5 +324,130 @@ func TestSyncBatchesManifestWrites(t *testing.T) {
 func TestOpenEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") should fail")
+	}
+}
+
+// gcPut stores one minimal cell record stamped with the given save
+// time, so GC retention tests never sleep.
+func gcPut(t *testing.T, s *Store, id string, seed int64, saved int64) {
+	t.Helper()
+	rec := &Record{
+		ID: id, Seed: seed, Title: id,
+		Columns: []string{"x"},
+		Rows:    EncodeRows([][]float64{{1}}),
+		Meta:    Meta{SavedUnixNs: saved},
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCRemovesOnlyUnreferencedStaleCells is the store-lifecycle
+// contract: a sweep removes exactly the cells that (a) no run record
+// references and (b) aged past the retention window — referenced cells
+// and fresh cells survive, and the manifest stays consistent across a
+// reopen.
+func TestGCRemovesOnlyUnreferencedStaleCells(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(1_000_000 * int64(1e9)) // an arbitrary fixed epoch, ns
+	old := now - int64(2e9*3600)         // two thousand hours earlier
+	gcPut(t, s, "figA", 1, old)          // referenced by the run below: kept
+	gcPut(t, s, "figA", 2, old)          // unreferenced + stale: removed
+	gcPut(t, s, "figB", 1, old)          // unreferenced + stale: removed
+	gcPut(t, s, "figC", 1, now)          // unreferenced but fresh: kept
+	if err := s.PutRun(&RunRecord{
+		ID:     "run-000001",
+		Spec:   RunSpec{IDs: []string{"figA"}, Seeds: []int64{1}},
+		Status: "done",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.GC(GCPolicy{MinAge: time.Hour, Now: time.Unix(0, now)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 4 || res.Removed != 2 || res.Kept != 2 {
+		t.Errorf("GC result = %+v, want scanned 4 / removed 2 / kept 2", res)
+	}
+	if res.RemovedBytes <= 0 {
+		t.Errorf("RemovedBytes = %d, want > 0", res.RemovedBytes)
+	}
+	for _, c := range []struct {
+		id       string
+		seed     int64
+		survives bool
+	}{{"figA", 1, true}, {"figA", 2, false}, {"figB", 1, false}, {"figC", 1, true}} {
+		_, err := s.Get(c.id, c.seed)
+		if c.survives && err != nil {
+			t.Errorf("%s seed %d: removed, want kept: %v", c.id, c.seed, err)
+		}
+		if !c.survives && !IsNotFound(err) {
+			t.Errorf("%s seed %d: err = %v, want NotFound", c.id, c.seed, err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d after GC, want 2", s.Len())
+	}
+	// The manifest was synced: a reopen sees the post-GC record set.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Errorf("reopened Len = %d, want 2", re.Len())
+	}
+	// Deleting the run releases its cell; everything stale then goes.
+	if err := s.DeleteRun("run-000001"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.GC(GCPolicy{MinAge: time.Hour, Now: time.Unix(0, now)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 1 || s.Len() != 1 {
+		t.Errorf("post-delete GC removed %d (Len %d), want 1 removed, Len 1", res.Removed, s.Len())
+	}
+}
+
+// TestGCEmptyAndConcurrentPut: a sweep over an empty store is a clean
+// no-op, and GC racing fresh Puts never removes what it should keep
+// (run under -race).
+func TestGCEmptyAndConcurrentPut(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.GC(GCPolicy{MinAge: time.Hour}); err != nil || res.Scanned != 0 || res.Removed != 0 {
+		t.Errorf("empty GC = %+v err %v, want clean zero sweep", res, err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				gcPut(t, s, "live", int64(g*100+i), 0) // SavedUnixNs 0 → stamped now
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := s.GC(GCPolicy{MinAge: time.Hour}); err != nil {
+					t.Errorf("concurrent GC: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 40 {
+		t.Errorf("Len = %d after concurrent put/GC, want 40 (fresh cells must survive)", s.Len())
 	}
 }
