@@ -15,6 +15,10 @@
 //	llama-serve -store DIR -drain 1m         bound the shutdown drain
 //	llama-serve -store DIR -max-queued 64    refuse submissions past the bound (429)
 //	llama-serve -store DIR -retention 168h   enable POST /admin/gc with a week's retention
+//	llama-serve -store DIR -fleet            accept llama-worker processes (lease pull)
+//	llama-serve -store DIR -fleet -lease-ttl 5s -fleet-only
+//	                                         fleet does all compute; silent workers
+//	                                         lose their lease after 5s
 //
 // Endpoints (see internal/service):
 //
@@ -26,6 +30,10 @@
 //	DELETE /runs/{id}                 cancel / delete
 //	POST   /admin/gc                  drop unreferenced cells older than -retention
 //	GET    /healthz                   liveness (503 while draining)
+//	POST   /fleet/lease               (-fleet) grant a shard job to a worker
+//	POST   /fleet/heartbeat           (-fleet) keep a lease alive
+//	POST   /fleet/complete            (-fleet) deliver a leased job's rows
+//	GET    /fleet/stats               (-fleet) lease lifecycle counters
 //
 // SIGINT/SIGTERM drains gracefully: in-flight runs are cancelled and
 // their completed cells persist to the store, so a later identical
@@ -57,10 +65,16 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to wait for in-flight runs to salvage and persist")
 		maxQueued = flag.Int("max-queued", 0, "submissions allowed in flight at once; beyond it POST /runs gets 429 + Retry-After (0 = unbounded)")
 		retention = flag.Duration("retention", 0, "POST /admin/gc removes cells unreferenced by any run and older than this (0 disables gc)")
+		fleetOn   = flag.Bool("fleet", false, "mount /fleet/* so llama-worker processes can lease shard jobs")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "fleet lease heartbeat deadline: a silent worker's jobs are reassigned after this (needs -fleet)")
+		fleetOnly = flag.Bool("fleet-only", false, "start no local compute workers; the fleet does all compute (needs -fleet)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fatal(errors.New("-store DIR is required: the store is the service's durable result backend"))
+	}
+	if (*fleetOnly || flag.Lookup("lease-ttl").Value.String() != (10*time.Second).String()) && !*fleetOn {
+		fatal(errors.New("-fleet-only and -lease-ttl need -fleet"))
 	}
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unknown arguments %v", flag.Args()))
@@ -73,6 +87,7 @@ func main() {
 	svc, err := service.New(service.Config{
 		Store: st, Workers: *workers, Logf: log.Printf,
 		MaxQueued: *maxQueued, Retention: *retention,
+		Fleet: *fleetOn, FleetTTL: *leaseTTL, FleetOnly: *fleetOnly,
 	})
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,14 @@ func storeRecord(res *Result, seed int64, meta store.Meta) *store.Record {
 	}
 }
 
+// CellRecord converts one computed cell into its persisted store form
+// — the exact record a submission's finalize writes, so worker-side
+// (fleet) and coordinator-side persistence of the same cell produce
+// byte-identical files.
+func CellRecord(res *Result, seed int64, meta store.Meta) *store.Record {
+	return storeRecord(res, seed, meta)
+}
+
 // resultFromRecord converts a validated store record back into the
 // Result the engine would have computed.
 func resultFromRecord(rec *store.Record) (*Result, error) {

@@ -69,6 +69,12 @@ type SchedulerConfig struct {
 	// submission persists its freshly computed cells there, and Resume
 	// submissions consult it before queueing jobs.
 	Store *store.Store
+	// LeaseOnly starts no local workers at all: jobs are dispatched
+	// exclusively through TryLease (the fleet coordinator's pull path),
+	// so the coordinator process spends no CPU on compute. Zero-job
+	// submissions (fully resumed from the store) still finalize
+	// immediately, so result reconstruction works without a fleet.
+	LeaseOnly bool
 }
 
 // Dispatch lanes: the priority lane is always served before the normal
@@ -114,6 +120,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	if cfg.LeaseOnly {
+		w = 0
+	}
 	s := &Scheduler{
 		workers: w,
 		st:      cfg.Store,
@@ -152,26 +161,28 @@ func (s *Scheduler) worker() {
 // false once the pool is stopped. The priority lane is drained first;
 // within a lane the front submission yields one job and rotates to the
 // back, so concurrent submissions advance in lockstep regardless of
-// size.
+// size. Jobs requeued by an expired lease are dealt before the
+// submission's undispatched tail, and jobs a late external completion
+// already settled are skipped.
 func (s *Scheduler) next() (schedJob, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		for lane := range s.lanes {
-			if len(s.lanes[lane]) == 0 {
-				continue
+			for len(s.lanes[lane]) > 0 {
+				sub := s.lanes[lane][0]
+				s.lanes[lane] = s.lanes[lane][1:]
+				jb, ok := sub.popJobLocked()
+				if sub.pendingLocked() {
+					s.lanes[lane] = append(s.lanes[lane], sub)
+				} else {
+					sub.inRing = false
+					sub.maybeReleaseLocked()
+				}
+				if ok {
+					return jb, true
+				}
 			}
-			sub := s.lanes[lane][0]
-			s.lanes[lane] = s.lanes[lane][1:]
-			jb := sub.queue[sub.nextJob]
-			sub.nextJob++
-			if sub.nextJob < len(sub.queue) {
-				s.lanes[lane] = append(s.lanes[lane], sub)
-			} else {
-				sub.inRing = false
-				close(sub.fed) // every job dispatched; release the cancel watcher
-			}
-			return jb, true
 		}
 		if s.stopped {
 			return schedJob{}, false
@@ -180,14 +191,83 @@ func (s *Scheduler) next() (schedJob, bool) {
 	}
 }
 
-// abandon removes a cancelled submission's undispatched jobs from its
-// ring and accounts them as done, so the submission finalizes promptly
-// even while every worker is busy elsewhere. Jobs already dispatched
-// account for themselves in execute.
+// popJobLocked yields the submission's next dispatchable job: requeued
+// lease returns first (skipping any a late completion settled in the
+// meantime), then the undispatched tail of the fixed queue. Caller
+// holds the scheduler mutex.
+func (sub *submission) popJobLocked() (schedJob, bool) {
+	for len(sub.requeue) > 0 {
+		jb := sub.requeue[0]
+		sub.requeue = sub.requeue[1:]
+		if !sub.settled[jb.ji].Load() {
+			return jb, true
+		}
+	}
+	if sub.nextJob < len(sub.queue) {
+		jb := sub.queue[sub.nextJob]
+		sub.nextJob++
+		return jb, true
+	}
+	return schedJob{}, false
+}
+
+// pendingLocked reports whether the submission still has undispatched
+// work (requeued or never dealt). Caller holds the scheduler mutex.
+func (sub *submission) pendingLocked() bool {
+	return len(sub.requeue) > 0 || sub.nextJob < len(sub.queue)
+}
+
+// maybeReleaseLocked closes fed — releasing the cancel watcher — once
+// the submission can produce no further dispatches: every queue job
+// dealt, nothing requeued, and no lease outstanding that could requeue.
+// Caller holds the scheduler mutex.
+func (sub *submission) maybeReleaseLocked() {
+	if sub.fedClosed || sub.inRing || sub.pendingLocked() || len(sub.leased) > 0 {
+		return
+	}
+	sub.fedClosed = true
+	close(sub.fed)
+}
+
+// dropSettledRequeueLocked prunes requeued entries a late external
+// completion settled, so a stale copy can never hold fed open. Caller
+// holds the scheduler mutex.
+func (sub *submission) dropSettledRequeueLocked() {
+	keep := sub.requeue[:0]
+	for _, jb := range sub.requeue {
+		if !sub.settled[jb.ji].Load() {
+			keep = append(keep, jb)
+		}
+	}
+	sub.requeue = keep
+}
+
+// abandon settles a cancelled submission's unfinished jobs — requeued,
+// undispatched, and leased-out alike — and accounts them as done, so
+// the submission finalizes promptly even while every worker is busy
+// elsewhere and no lease holder ever reports back. Jobs already
+// dispatched to a local worker account for themselves in execute; a
+// lease completion arriving after this loses the settle race and is
+// dropped.
 func (s *Scheduler) abandon(sub *submission) {
 	s.mu.Lock()
-	n := len(sub.queue) - sub.nextJob
-	sub.nextJob = len(sub.queue)
+	n := 0
+	settle := func(ji int) {
+		if sub.settled[ji].CompareAndSwap(false, true) {
+			n++
+		}
+	}
+	for _, jb := range sub.requeue {
+		settle(jb.ji)
+	}
+	sub.requeue = nil
+	for ; sub.nextJob < len(sub.queue); sub.nextJob++ {
+		settle(sub.queue[sub.nextJob].ji)
+	}
+	for ji := range sub.leased {
+		settle(ji)
+		delete(sub.leased, ji)
+	}
 	if sub.inRing {
 		ring := s.lanes[sub.lane]
 		for i, x := range ring {
@@ -197,8 +277,8 @@ func (s *Scheduler) abandon(sub *submission) {
 			}
 		}
 		sub.inRing = false
-		close(sub.fed)
 	}
+	sub.maybeReleaseLocked()
 	s.mu.Unlock()
 	sub.jobDone(n)
 }
@@ -307,11 +387,15 @@ func (s *Scheduler) Close() {
 }
 
 // schedJob is one unit of queued work: a whole-experiment cell, one
-// sweep point, or a contiguous batch of points of one cell.
+// sweep point, or a contiguous batch of points of one cell. ji is the
+// job's index in its submission's fixed queue — the settle key that
+// makes completion idempotent when a job is dispatched more than once
+// (lease expiry requeues it).
 type schedJob struct {
 	sub          *submission
 	cell         int
 	point, count int
+	ji           int
 }
 
 // submission is one Submit call in flight: its fixed cell/job layout,
@@ -336,12 +420,27 @@ type submission struct {
 
 	// Dispatch state, guarded by the scheduler's mu: the lane the
 	// submission queues on, the index of its next undispatched job, and
-	// whether it currently sits in its lane's ring. fed is closed once
-	// every job has been dispatched or abandoned, releasing watchCancel.
-	lane    int
-	nextJob int
-	inRing  bool
-	fed     chan struct{}
+	// whether it currently sits in its lane's ring. fed is closed (once,
+	// fedClosed guards the double-dispatch paths) when the submission can
+	// yield no further dispatch — every job dealt or abandoned, nothing
+	// requeued, no lease outstanding — releasing watchCancel. requeue
+	// holds jobs returned by expired/abandoned leases, dealt before the
+	// queue tail; leased tracks job indices currently out on a lease.
+	lane      int
+	nextJob   int
+	inRing    bool
+	fedClosed bool
+	fed       chan struct{}
+	requeue   []schedJob
+	leased    map[int]struct{}
+
+	// settled has one flag per queue slot; the first finisher — local
+	// execute, external lease completion, or abandonment — wins the CAS
+	// and alone writes the job's collection slots and accounts it in
+	// jobDone. Everyone else drops their result. That single gate is what
+	// makes duplicate completions, reassignment races, and late replies
+	// from presumed-dead workers safe (invariant 9).
+	settled []atomic.Bool
 
 	start      time.Time
 	cacheStart metasurface.CacheStats
@@ -448,27 +547,45 @@ func newSubmission(ctx context.Context, spec RunSpec, st *store.Store) (*submiss
 			}
 		}
 	}
+	for i := range sub.queue {
+		sub.queue[i].ji = i
+	}
+	sub.settled = make([]atomic.Bool, len(sub.queue))
+	sub.leased = make(map[int]struct{})
 	return sub, nil
 }
 
-// execute runs one job on a pool worker, writing only the job's own
-// pre-assigned slots. A job error cancels this submission (fail fast)
+// execute runs one job on a pool worker. It computes into local
+// scratch first and commits to the job's pre-assigned slots only after
+// winning the settle CAS — a local re-execution of a requeued job can
+// race a late external completion of the same job, and exactly one of
+// them may write. A job error cancels this submission (fail fast)
 // without touching the scheduler's other submissions.
 func (sub *submission) execute(jb schedJob) {
-	defer sub.jobDone(1)
+	if sub.settled[jb.ji].Load() {
+		return // a late external completion beat the requeue; nothing to do
+	}
 	c := &sub.cells[jb.cell]
 	if c.sweep == nil {
 		var cs metasurface.CacheStats
 		if sub.trackCache {
 			cs = metasurface.GlobalCacheStats()
 		}
-		c.started[jb.point] = time.Now()
+		started := time.Now()
 		res, err := Run(sub.ctx, c.id, c.seed)
-		c.elapsed[jb.point] = time.Since(c.started[jb.point])
+		elapsed := time.Since(started)
+		var hits, misses uint64
 		if sub.trackCache {
 			d := metasurface.GlobalCacheStats().Sub(cs)
-			c.cacheHits[jb.point], c.cacheMisses[jb.point] = d.Hits, d.Misses
+			hits, misses = d.Hits, d.Misses
 		}
+		if !sub.settled[jb.ji].CompareAndSwap(false, true) {
+			return
+		}
+		defer sub.jobDone(1)
+		c.started[jb.point] = started
+		c.elapsed[jb.point] = elapsed
+		c.cacheHits[jb.point], c.cacheMisses[jb.point] = hits, misses
 		if err != nil {
 			c.errs[jb.point] = fmt.Errorf("experiments: %s (seed %d): %w", c.id, c.seed, err)
 			if res != nil && len(res.Rows) > 0 {
@@ -481,24 +598,48 @@ func (sub *submission) execute(jb schedJob) {
 		c.done[jb.point] = true
 		return
 	}
+	scratch := make([]PointResult, jb.count)
+	started := make([]time.Time, jb.count)
+	elapsed := make([]time.Duration, jb.count)
+	hits := make([]uint64, jb.count)
+	misses := make([]uint64, jb.count)
+	ran := 0
+	var runErr error
 	for p := jb.point; p < jb.point+jb.count; p++ {
+		i := p - jb.point
 		var cs metasurface.CacheStats
 		if sub.trackCache {
 			cs = metasurface.GlobalCacheStats()
 		}
-		c.started[p] = time.Now()
+		started[i] = time.Now()
 		pt, err := c.sweep.Point(sub.ctx, c.seed, p)
-		c.elapsed[p] = time.Since(c.started[p])
+		elapsed[i] = time.Since(started[i])
 		if sub.trackCache {
 			d := metasurface.GlobalCacheStats().Sub(cs)
-			c.cacheHits[p], c.cacheMisses[p] = d.Hits, d.Misses
+			hits[i], misses[i] = d.Hits, d.Misses
 		}
+		ran++
 		if err != nil {
-			c.errs[p] = err
-			sub.cancelFn()
-			return // the batch's remaining points stay unrun
+			runErr = err
+			break // the batch's remaining points stay unrun
 		}
-		c.points[p] = pt
+		scratch[i] = pt
+	}
+	if !sub.settled[jb.ji].CompareAndSwap(false, true) {
+		return
+	}
+	defer sub.jobDone(1)
+	for i := 0; i < ran; i++ {
+		p := jb.point + i
+		c.started[p] = started[i]
+		c.elapsed[p] = elapsed[i]
+		c.cacheHits[p], c.cacheMisses[p] = hits[i], misses[i]
+		if i == ran-1 && runErr != nil {
+			c.errs[p] = runErr
+			sub.cancelFn()
+			return
+		}
+		c.points[p] = scratch[i]
 		c.done[p] = true
 	}
 }

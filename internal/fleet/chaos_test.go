@@ -1,0 +1,243 @@
+package fleet
+
+// Seeded chaos suite for determinism invariant 9: a fleet of workers
+// with an injected per-seed failure schedule — die mid-lease, hang
+// past the TTL and answer late, skip heartbeats, complete twice —
+// must still finish every run with CSV bytes identical to the
+// single-process reference, with every abandoned job observably
+// reassigned. The schedule is a pure function of (chaos seed, worker),
+// so a failure reproduces from its seed. Run under -race in CI.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/simclock"
+)
+
+func init() {
+	// A test-only sweep wide enough to give the chaos schedule many
+	// leases to corrupt, with NaN/±Inf cells so the encoding path is
+	// exercised under fire too. Pure in (seed, i), like every sweep.
+	experiments.RegisterSweep(&experiments.Sweep{
+		ID:          "fleet-chaos",
+		Description: "test-only sweep for fleet chaos runs (NaN/Inf cells included)",
+		Title:       "fleet chaos fixture",
+		Columns:     []string{"i", "seed", "value", "edge"},
+		Points:      25,
+		Point: func(ctx context.Context, seed int64, i int) (experiments.PointResult, error) {
+			if err := ctx.Err(); err != nil {
+				return experiments.PointResult{}, err
+			}
+			v := math.Sin(float64(i)*1.7) * float64(seed+1)
+			edge := 0.0
+			switch i % 5 {
+			case 1:
+				edge = math.NaN()
+			case 2:
+				edge = math.Inf(1)
+			case 3:
+				edge = math.Inf(-1)
+			}
+			return experiments.Row(float64(i), float64(seed), v, edge), nil
+		},
+	})
+}
+
+// chaosAct is one worker behavior drawn per lease from the seeded
+// schedule.
+type chaosAct int
+
+const (
+	actNormal     chaosAct = iota // compute, complete
+	actDie                        // vanish mid-lease; never answer
+	actHang                       // stall past the TTL, then answer late
+	actSlowBeat                   // heartbeat too slowly, then answer late
+	actDupDeliver                 // complete, then complete again
+)
+
+// chaosRun drives one lease-only scheduler + coordinator with a fleet
+// of n misbehaving workers and returns the run's CSV bytes.
+func chaosRun(t *testing.T, chaosSeed int64, fleetSize int, spec experiments.RunSpec) (string, Stats) {
+	t.Helper()
+	sched := experiments.NewScheduler(experiments.SchedulerConfig{LeaseOnly: true})
+	defer sched.Close()
+	const ttl = 150 * time.Millisecond
+	c, err := NewCoordinator(Config{Sched: sched, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	h, err := sched.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var late sync.WaitGroup // detached late-completion deliveries
+	var injected atomic.Int64
+	for w := 0; w < fleetSize; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// The schedule is pure in (chaos seed, worker index): the same
+			// seed replays the same failures.
+			rng := simclock.RNG(chaosSeed, fmt.Sprintf("chaos-worker-%d", w))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				g, ok := c.Lease(fmt.Sprintf("w%d", w))
+				if !ok {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				act := actNormal
+				if r := rng.Float64(); r < 0.12 {
+					act = actDie
+				} else if r < 0.22 {
+					act = actHang
+				} else if r < 0.30 {
+					act = actSlowBeat
+				} else if r < 0.38 {
+					act = actDupDeliver
+				}
+				if act != actNormal {
+					injected.Add(1)
+				}
+				switch act {
+				case actDie:
+					continue // worker "crashes": the lease just rots
+				case actHang, actSlowBeat:
+					// Both miss the deadline (actSlowBeat's only heartbeat is
+					// already too late) and then deliver anyway — the
+					// accepted-or-dropped path.
+					res, err := experiments.ComputeJob(context.Background(), g.Desc)
+					if err != nil {
+						c.Complete(g.ID, experiments.ExternalResult{}, err.Error())
+						continue
+					}
+					late.Add(1)
+					go func(g *Grant, res experiments.ExternalResult) {
+						defer late.Done()
+						time.Sleep(ttl + ttl/2)
+						if act == actSlowBeat {
+							_ = c.Heartbeat(g.ID) // too late: ErrLeaseExpired
+						}
+						_ = c.Complete(g.ID, res, "")
+					}(g, res)
+				case actDupDeliver:
+					res, err := experiments.ComputeJob(context.Background(), g.Desc)
+					if err != nil {
+						c.Complete(g.ID, experiments.ExternalResult{}, err.Error())
+						continue
+					}
+					if err := c.Complete(g.ID, res, ""); err != nil {
+						t.Errorf("chaos worker %d: complete %s: %v", w, g.Desc, err)
+					}
+					if err := c.Complete(g.ID, res, ""); err != nil {
+						t.Errorf("chaos worker %d: duplicate complete %s: %v", w, g.Desc, err)
+					}
+				default:
+					res, err := experiments.ComputeJob(context.Background(), g.Desc)
+					if err != nil {
+						c.Complete(g.ID, experiments.ExternalResult{}, err.Error())
+						continue
+					}
+					if err := c.Complete(g.ID, res, ""); err != nil {
+						t.Errorf("chaos worker %d: complete %s: %v", w, g.Desc, err)
+					}
+				}
+			}
+		}(w)
+	}
+	// Reap on a timer too: with a small fleet every worker can be
+	// mid-hang at once, and an abandoned job must still requeue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				c.Reap()
+			}
+		}
+	}()
+
+	select {
+	case <-h.Done():
+	case <-time.After(90 * time.Second):
+		t.Fatalf("chaos run wedged: seed %d fleet %d, stats %+v, progress %+v",
+			chaosSeed, fleetSize, c.Stats(), h.Progress())
+	}
+	close(done)
+	wg.Wait()
+	late.Wait()
+
+	rep, err := h.Report()
+	if err != nil {
+		t.Fatalf("chaos run failed: seed %d fleet %d: %v", chaosSeed, fleetSize, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTables(&buf, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if injected.Load() == 0 {
+		t.Fatalf("seed %d fleet %d: chaos schedule injected no failures — widen the spec", chaosSeed, fleetSize)
+	}
+	return buf.String(), c.Stats()
+}
+
+// TestFleetChaosBitIdentity is the acceptance gate: for chaos seeds
+// {1, 7, 42} × fleet sizes {1, 2, 4}, a fleet run under injected
+// worker failures produces CSV bytes identical to the single-process
+// reference (what llama-bench prints for the same spec), every job is
+// accounted, and abandoned leases are observably reassigned.
+func TestFleetChaosBitIdentity(t *testing.T) {
+	spec := experiments.RunSpec{
+		IDs:       []string{"fleet-chaos", "tab1"},
+		Seeds:     []int64{1, 2},
+		ShardRows: true,
+	}
+	ref, err := experiments.Execute(context.Background(), experiments.Options{
+		IDs: spec.IDs, Seeds: spec.Seeds, Concurrency: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.WriteTables(&want, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, chaosSeed := range []int64{1, 7, 42} {
+		for _, fleetSize := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("seed%d_fleet%d", chaosSeed, fleetSize), func(t *testing.T) {
+				got, st := chaosRun(t, chaosSeed, fleetSize, spec)
+				if got != want.String() {
+					t.Errorf("CSV bytes differ from single-process run (stats %+v)", st)
+				}
+				if st.Expired == 0 {
+					t.Errorf("no lease ever expired (stats %+v) — the schedule injected failures, so reassignment should be observable", st)
+				}
+				if st.Completed == 0 {
+					t.Errorf("no completion recorded (stats %+v)", st)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package fleet distributes llama-serve's compute across worker
+// processes. The coordinator side pulls shard jobs out of the
+// experiment scheduler through its lease interface
+// (experiments.Scheduler.TryLease) and deals them to remote workers
+// over a small HTTP pull protocol — lease, heartbeat, complete — with
+// heartbeat deadlines: a worker that dies or stalls mid-job loses its
+// lease and the job is requeued for someone else. The worker side
+// (Worker, cmd/llama-worker) polls for leases, recomputes each job
+// from its pure description with the local experiment registry, and
+// posts the rows back.
+//
+// Fleet transparency is determinism invariant 9 (ARCHITECTURE.md): for
+// any fleet size and any schedule of worker failures, a run's bytes
+// are identical to a single-process run. The coordinator never trusts
+// fleet timing — completions land in pre-assigned collection slots
+// guarded by a per-job settle CAS, so a late duplicate from a
+// presumed-dead worker is accepted if it is first or dropped if it is
+// not, and either way the bytes match (every worker computes the same
+// pure function).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/llama-surface/llama/internal/experiments"
+)
+
+// Lease lifecycle errors, mapped by the HTTP layer to 404/409.
+var (
+	// ErrUnknownLease means the lease ID was never granted or its record
+	// has already been purged (terminal records are kept 2×TTL).
+	ErrUnknownLease = errors.New("fleet: unknown lease")
+	// ErrLeaseExpired means the lease's heartbeat deadline passed and the
+	// job was requeued; the holder should drop the work (a completion is
+	// still worth posting — it is accepted if the recomputation has not
+	// finished first).
+	ErrLeaseExpired = errors.New("fleet: lease expired")
+	// ErrClosed means the coordinator is shutting down.
+	ErrClosed = errors.New("fleet: coordinator closed")
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Sched is the scheduler whose jobs the fleet executes. Required.
+	Sched *experiments.Scheduler
+	// TTL is the lease heartbeat deadline: a lease not heartbeated for
+	// TTL is expired and its job requeued. Defaults to 10s.
+	TTL time.Duration
+	// Now supplies the clock; defaults to time.Now. Tests drive expiry
+	// deterministically through simclock.Clock.Time.
+	Now func() time.Time
+	// Logf, when non-nil, receives one line per lease-lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// leaseState is the lifecycle of one granted lease.
+type leaseState int
+
+const (
+	leaseLive    leaseState = iota // granted, deadline in the future
+	leaseExpired                   // deadline passed; job requeued
+	leaseDone                      // completed or failed by its holder
+)
+
+// lease is the coordinator's record of one granted job.
+type lease struct {
+	id       string
+	job      *experiments.LeasedJob
+	desc     experiments.JobDesc
+	worker   string
+	deadline time.Time
+	state    leaseState
+	ended    time.Time // when the lease left leaseLive, for record purge
+}
+
+// Stats counts lease-lifecycle events since the coordinator started.
+type Stats struct {
+	// Granted counts leases handed out (including re-grants of requeued
+	// jobs); Live is the current outstanding count.
+	Granted int64 `json:"granted"`
+	Live    int64 `json:"live"`
+	// Completed counts first-writer completions; Duplicates counts
+	// well-formed completions dropped because the job had already
+	// settled (late replies from presumed-dead workers).
+	Completed  int64 `json:"completed"`
+	Duplicates int64 `json:"duplicates"`
+	// Expired counts leases reaped past their heartbeat deadline;
+	// Failed counts completions that carried a worker error.
+	Expired int64 `json:"expired"`
+	Failed  int64 `json:"failed"`
+}
+
+// Coordinator deals scheduler jobs to fleet workers and polices their
+// leases. Methods are safe for concurrent use.
+type Coordinator struct {
+	sched *experiments.Scheduler
+	ttl   time.Duration
+	now   func() time.Time
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	leases map[string]*lease
+	nextID int64
+	closed bool
+	stats  Stats
+}
+
+// NewCoordinator validates cfg and returns a running coordinator.
+// Expiry is checked lazily on every Lease/Heartbeat/Complete/Reap call
+// rather than by a background timer, so a simulated clock drives it
+// deterministically.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Sched == nil {
+		return nil, errors.New("fleet: Config.Sched is required")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{
+		sched:  cfg.Sched,
+		ttl:    cfg.TTL,
+		now:    cfg.Now,
+		logf:   cfg.Logf,
+		leases: make(map[string]*lease),
+	}, nil
+}
+
+// TTL returns the configured lease heartbeat deadline.
+func (c *Coordinator) TTL() time.Duration { return c.ttl }
+
+// Lease grants the next dispatchable job to worker, or returns
+// (nil, false) when no job is queued right now — the worker backs off
+// and polls again. Expired leases are reaped first, so a requeued job
+// can be re-granted by the very call that notices its old holder died.
+func (c *Coordinator) Lease(worker string) (*Grant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false
+	}
+	c.reapLocked(c.now())
+	job := c.sched.TryLease()
+	if job == nil {
+		return nil, false
+	}
+	c.nextID++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%d", c.nextID),
+		job:      job,
+		desc:     job.Desc(),
+		worker:   worker,
+		deadline: c.now().Add(c.ttl),
+		state:    leaseLive,
+	}
+	c.leases[l.id] = l
+	c.stats.Granted++
+	c.stats.Live++
+	c.logf("fleet: lease %s: %s -> worker %s (deadline %s)", l.id, l.desc, worker, l.deadline.Format(time.RFC3339Nano))
+	return &Grant{ID: l.id, Desc: l.desc, TTL: c.ttl}, true
+}
+
+// Grant is one granted lease: the job to compute, the lease ID to
+// heartbeat and complete under, and the TTL the holder must beat.
+type Grant struct {
+	// ID names the lease in Heartbeat/Complete calls.
+	ID string
+	// Desc is the job, in worker-computable terms.
+	Desc experiments.JobDesc
+	// TTL is the heartbeat deadline interval; holders heartbeat at a
+	// fraction of it (Worker uses TTL/3).
+	TTL time.Duration
+}
+
+// Heartbeat extends a live lease's deadline to now+TTL. A heartbeat
+// arriving exactly at the deadline keeps the lease (expiry is strictly
+// after); one arriving later gets ErrLeaseExpired and the job has been
+// requeued. ErrUnknownLease means the ID was never granted or its
+// record aged out.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	l, ok := c.leases[id]
+	if !ok {
+		return ErrUnknownLease
+	}
+	switch l.state {
+	case leaseExpired:
+		return ErrLeaseExpired
+	case leaseDone:
+		return nil // already finished; nothing to extend, nothing to retry
+	}
+	l.deadline = now.Add(c.ttl)
+	return nil
+}
+
+// Complete delivers a holder's result (or, when workErr is non-empty,
+// its compute failure) for lease id. Idempotent and late-duplicate
+// safe: completing a lease that already expired still forwards the
+// rows — the settle CAS accepts them if the requeued copy has not
+// finished first and drops them otherwise; completing a lease twice is
+// a no-op. A malformed payload returns an error (the HTTP layer's 400)
+// and requeues the job so an honest worker recomputes it.
+func (c *Coordinator) Complete(id string, res experiments.ExternalResult, workErr string) error {
+	c.mu.Lock()
+	now := c.now()
+	c.reapLocked(now)
+	l, ok := c.leases[id]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownLease
+	}
+	if l.state == leaseDone {
+		c.mu.Unlock()
+		return nil
+	}
+	settledBefore := l.job.Settled()
+	c.mu.Unlock()
+
+	// Forward outside the coordinator lock: Complete/Fail take the
+	// scheduler's lock and may trigger a submission's finalize.
+	var err error
+	if workErr != "" {
+		l.job.Fail(errors.New(workErr))
+	} else {
+		err = l.job.Complete(res)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l.state == leaseDone {
+		return nil // a racing Complete for the same lease got there first
+	}
+	if err != nil {
+		// Malformed payload: the job is still leased; requeue it so the
+		// work is not stranded until the TTL reaps it.
+		l.job.Abandon()
+		c.endLocked(l, leaseExpired, now)
+		c.logf("fleet: lease %s: rejected completion from worker %s: %v", l.id, l.worker, err)
+		return err
+	}
+	c.endLocked(l, leaseDone, now)
+	switch {
+	case workErr != "":
+		c.stats.Failed++
+		c.logf("fleet: lease %s: worker %s failed: %s", l.id, l.worker, workErr)
+	case settledBefore:
+		c.stats.Duplicates++
+		c.logf("fleet: lease %s: duplicate completion from worker %s dropped", l.id, l.worker)
+	default:
+		c.stats.Completed++
+	}
+	return nil
+}
+
+// Reap expires every lease whose deadline has strictly passed,
+// requeueing their jobs, and purges terminal lease records older than
+// 2×TTL. It is called implicitly by every other method; tests (and a
+// service's periodic sweep) may call it directly.
+func (c *Coordinator) Reap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.now())
+}
+
+// reapLocked is Reap under c.mu, at an explicit instant.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for _, l := range c.leases {
+		if l.state == leaseLive && now.After(l.deadline) {
+			c.endLocked(l, leaseExpired, now)
+			c.stats.Expired++
+			c.logf("fleet: lease %s: worker %s missed deadline; requeueing %s", l.id, l.worker, l.desc)
+			l.job.Abandon()
+		}
+	}
+	// Terminal records linger 2×TTL so a late duplicate still gets a
+	// clean idempotent answer instead of ErrUnknownLease, then age out.
+	horizon := now.Add(-2 * c.ttl)
+	for id, l := range c.leases {
+		if l.state != leaseLive && l.ended.Before(horizon) {
+			delete(c.leases, id)
+		}
+	}
+}
+
+// endLocked moves a lease to a terminal state, stamps it for purge and
+// maintains the Live gauge (decremented exactly once per lease).
+func (c *Coordinator) endLocked(l *lease, st leaseState, now time.Time) {
+	if l.state == leaseLive {
+		c.stats.Live--
+	}
+	l.state = st
+	l.ended = now
+}
+
+// Stats returns a snapshot of the lease-lifecycle counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops granting and abandons every live lease so outstanding
+// jobs return to the scheduler (whose own Close settles them). Safe to
+// call more than once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var live []*lease
+	for _, l := range c.leases {
+		if l.state == leaseLive {
+			c.endLocked(l, leaseExpired, c.now())
+			live = append(live, l)
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range live {
+		l.job.Abandon()
+	}
+}

@@ -1,0 +1,360 @@
+package fleet
+
+// HTTP wire layer of the lease protocol. Floats cross the wire as
+// strconv 'g'/-1 strings — the store's lossless encoding — because
+// encoding/json rejects NaN/±Inf float64 values and several
+// experiments legitimately produce them; the string round trip is
+// bit-exact, which invariant 9 requires.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/store"
+)
+
+// Wire types.
+
+// leaseRequest is the body of POST /fleet/lease.
+type leaseRequest struct {
+	// Worker is a self-chosen worker name, used only in coordinator logs
+	// and stats attribution.
+	Worker string `json:"worker"`
+}
+
+// leaseResponse is the 200 body of POST /fleet/lease; "no job" is a
+// bare 204.
+type leaseResponse struct {
+	// LeaseID names the grant in heartbeat/complete calls.
+	LeaseID string `json:"lease_id"`
+	// Job is the work to compute.
+	Job wireDesc `json:"job"`
+	// TTLMillis is the heartbeat deadline interval in milliseconds.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// wireDesc mirrors experiments.JobDesc field for field.
+type wireDesc struct {
+	ID      string `json:"id"`
+	Seed    int64  `json:"seed"`
+	Sharded bool   `json:"sharded"`
+	Point   int    `json:"point"`
+	Count   int    `json:"count"`
+}
+
+func toWireDesc(d experiments.JobDesc) wireDesc {
+	return wireDesc{ID: d.ID, Seed: d.Seed, Sharded: d.Sharded, Point: d.Point, Count: d.Count}
+}
+
+func (w wireDesc) desc() experiments.JobDesc {
+	return experiments.JobDesc{ID: w.ID, Seed: w.Seed, Sharded: w.Sharded, Point: w.Point, Count: w.Count}
+}
+
+// heartbeatRequest is the body of POST /fleet/heartbeat.
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// completeRequest is the body of POST /fleet/complete: either Error
+// (the worker's compute failure) or the job-shaped result payload.
+type completeRequest struct {
+	LeaseID string `json:"lease_id"`
+	// Error, when non-empty, reports the worker's compute failure; the
+	// result fields are then ignored.
+	Error string `json:"error,omitempty"`
+	// Points carries a sharded job's per-point output, in batch order.
+	Points []wirePoint `json:"points,omitempty"`
+	// Cell carries a whole-experiment job's table.
+	Cell *wireResult `json:"cell,omitempty"`
+	// ElapsedMillis is the worker's compute time for the job.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+}
+
+// wirePoint is one sweep point's output with string-encoded rows.
+type wirePoint struct {
+	Rows  [][]string `json:"rows,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+// wireResult is a whole experiment table with string-encoded rows.
+type wireResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// decodeWireRows parses string cells back to float64 rows (bit-exact,
+// NaN/±Inf included).
+func decodeWireRows(rows [][]string) ([][]float64, error) {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		dec := make([]float64, len(row))
+		for j, s := range row {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %d: non-numeric cell %q", i, j, s)
+			}
+			dec[j] = v
+		}
+		out[i] = dec
+	}
+	return out, nil
+}
+
+// toWire encodes an in-memory result for the completion payload.
+func toWire(res experiments.ExternalResult) ([]wirePoint, *wireResult) {
+	var pts []wirePoint
+	for _, p := range res.Points {
+		pts = append(pts, wirePoint{Rows: store.EncodeRows(p.Rows), Notes: p.Notes})
+	}
+	var cell *wireResult
+	if res.Cell != nil {
+		cell = &wireResult{
+			ID:      res.Cell.ID,
+			Title:   res.Cell.Title,
+			Columns: res.Cell.Columns,
+			Rows:    store.EncodeRows(res.Cell.Rows),
+			Notes:   res.Cell.Notes,
+		}
+	}
+	return pts, cell
+}
+
+// fromWire decodes a completion payload back to an ExternalResult.
+func fromWire(req completeRequest) (experiments.ExternalResult, error) {
+	var out experiments.ExternalResult
+	out.Elapsed = time.Duration(req.ElapsedMillis) * time.Millisecond
+	for i, p := range req.Points {
+		rows, err := decodeWireRows(p.Rows)
+		if err != nil {
+			return out, fmt.Errorf("point %d: %w", i, err)
+		}
+		out.Points = append(out.Points, experiments.PointResult{Rows: rows, Notes: p.Notes})
+	}
+	if req.Cell != nil {
+		rows, err := decodeWireRows(req.Cell.Rows)
+		if err != nil {
+			return out, fmt.Errorf("cell: %w", err)
+		}
+		out.Cell = &experiments.Result{
+			ID:      req.Cell.ID,
+			Title:   req.Cell.Title,
+			Columns: req.Cell.Columns,
+			Rows:    rows,
+			Notes:   req.Cell.Notes,
+		}
+	}
+	return out, nil
+}
+
+// Handler serves the coordinator's lease protocol:
+//
+//	POST /fleet/lease      {"worker":W}            -> 200 grant | 204 no job
+//	POST /fleet/heartbeat  {"lease_id":L}          -> 204 | 404 unknown | 409 expired
+//	POST /fleet/complete   {"lease_id":L, ...}     -> 204 | 404 unknown | 400 malformed
+//	GET  /fleet/stats                              -> 200 Stats JSON
+//
+// Mount it on the serving mux at "/" — its patterns carry the /fleet
+// prefix already.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		g, ok := c.Lease(req.Worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, leaseResponse{
+			LeaseID:   g.ID,
+			Job:       toWireDesc(g.Desc),
+			TTLMillis: g.TTL.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("POST /fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		switch err := c.Heartbeat(req.LeaseID); {
+		case errors.Is(err, ErrUnknownLease):
+			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrLeaseExpired):
+			httpError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	mux.HandleFunc("POST /fleet/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := fromWire(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		switch err := c.Complete(req.LeaseID, res, req.Error); {
+		case errors.Is(err, ErrUnknownLease):
+			httpError(w, http.StatusNotFound, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	mux.HandleFunc("GET /fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	return mux
+}
+
+// readJSON decodes the request body into v, answering 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// Client speaks the worker side of the wire protocol against one
+// coordinator base URL.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://host:8080".
+	Base string
+	// HTTP is the underlying client; nil means a 30s-timeout default.
+	HTTP *http.Client
+}
+
+// httpClient returns the configured or default underlying client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// post sends one JSON request and decodes the reply into out (when out
+// is non-nil and the reply has a body). It maps the protocol's error
+// statuses back to the coordinator's sentinel errors.
+func (c *Client) post(path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return resp.StatusCode, ErrUnknownLease
+	case http.StatusConflict:
+		return resp.StatusCode, ErrLeaseExpired
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, fmt.Errorf("fleet: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: %s: decoding reply: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Lease requests a job; ok is false when the coordinator has none
+// right now.
+func (c *Client) Lease(worker string) (grant Grant, ok bool, err error) {
+	var resp leaseResponse
+	status, err := c.post("/fleet/lease", leaseRequest{Worker: worker}, &resp)
+	if err != nil {
+		return Grant{}, false, err
+	}
+	if status == http.StatusNoContent {
+		return Grant{}, false, nil
+	}
+	return Grant{
+		ID:   resp.LeaseID,
+		Desc: resp.Job.desc(),
+		TTL:  time.Duration(resp.TTLMillis) * time.Millisecond,
+	}, true, nil
+}
+
+// Heartbeat extends the lease; ErrLeaseExpired / ErrUnknownLease map
+// the protocol's 409/404.
+func (c *Client) Heartbeat(leaseID string) error {
+	_, err := c.post("/fleet/heartbeat", heartbeatRequest{LeaseID: leaseID}, nil)
+	return err
+}
+
+// Complete posts the job's computed result under its lease.
+func (c *Client) Complete(leaseID string, res experiments.ExternalResult) error {
+	pts, cell := toWire(res)
+	_, err := c.post("/fleet/complete", completeRequest{
+		LeaseID:       leaseID,
+		Points:        pts,
+		Cell:          cell,
+		ElapsedMillis: res.Elapsed.Milliseconds(),
+	}, nil)
+	return err
+}
+
+// Fail reports the worker's compute failure under its lease.
+func (c *Client) Fail(leaseID string, workErr error) error {
+	msg := "unknown worker error"
+	if workErr != nil {
+		msg = workErr.Error()
+	}
+	_, err := c.post("/fleet/complete", completeRequest{LeaseID: leaseID, Error: msg}, nil)
+	return err
+}
+
+// Stats fetches the coordinator's lease counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.httpClient().Get(c.Base + "/fleet/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("fleet: /fleet/stats: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,208 @@
+package service_test
+
+// Service-level fleet coverage: llama-serve with -fleet-only computes
+// nothing itself — external fleet workers drain every job over the
+// mounted /fleet/* endpoints — yet the served result is byte-identical
+// to llama-bench. Plus the SSE stalled-client regression: a subscriber
+// that stops reading without closing its connection must tear the
+// stream down within the write timeout, not pin the handler goroutine
+// for the run's lifetime.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/fleet"
+	"github.com/llama-surface/llama/internal/service"
+	"github.com/llama-surface/llama/internal/store"
+)
+
+// TestFleetOnlyServiceMatchesBench: a fleet-only server grants every
+// job to external workers over HTTP and still serves llama-bench bytes.
+func TestFleetOnlyServiceMatchesBench(t *testing.T) {
+	svc, ts := newServerCfg(t, t.TempDir(), service.Config{
+		Fleet: true, FleetOnly: true, FleetTTL: 2 * time.Second,
+	})
+	want := benchBytes(t, experiments.Options{
+		IDs: []string{"fig2a", "tab1"}, Seeds: []int64{1, 2}, Concurrency: 1,
+	}, "csv")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			Client: &fleet.Client{Base: ts.URL},
+			Name:   fmt.Sprintf("svc-w%d", i),
+			Poll:   5 * time.Millisecond,
+			Logf:   t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = w.Run(ctx) }()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	id := submit(t, ts.URL, `{"ids":["fig2a","tab1"],"seeds":[1,2],"shard_rows":true}`)
+	awaitStatus(t, ts.URL, id, service.StatusDone)
+	code, got, _ := fetchResult(t, ts.URL, id, "csv")
+	if code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	if got != want {
+		t.Error("fleet-only served CSV differs from llama-bench bytes")
+	}
+	if st := svc.Fleet().Stats(); st.Completed == 0 {
+		t.Errorf("fleet stats %+v: external workers completed nothing", st)
+	}
+}
+
+// stallWriter is an SSE subscriber that stops reading: every Write
+// blocks until the handler's write deadline (set via the
+// http.ResponseController path) fires, then fails like a timed-out
+// socket. If the handler never sets a deadline, writes block for the
+// full fallback — the pre-fix behavior this test pins down.
+type stallWriter struct {
+	mu       sync.Mutex
+	deadline time.Time
+	header   http.Header
+}
+
+func (w *stallWriter) Header() http.Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *stallWriter) WriteHeader(int) {}
+
+func (w *stallWriter) Flush() {}
+
+func (w *stallWriter) SetWriteDeadline(d time.Time) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.deadline = d
+	return nil
+}
+
+func (w *stallWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	d := w.deadline
+	w.mu.Unlock()
+	wait := 30 * time.Second // no deadline set: stall "forever"
+	if !d.IsZero() {
+		wait = time.Until(d)
+	}
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	if d.IsZero() {
+		return len(p), nil
+	}
+	return 0, os.ErrDeadlineExceeded
+}
+
+// TestEventsStalledClient: an events subscriber whose connection
+// stalls (never reads, never closes) is torn down within the write
+// timeout instead of pinning the handler for the run's lifetime.
+func TestEventsStalledClient(t *testing.T) {
+	svc, ts := newServerCfg(t, t.TempDir(), service.Config{
+		Workers:           1,
+		EventPoll:         10 * time.Millisecond,
+		EventWriteTimeout: 50 * time.Millisecond,
+	})
+	// svc-block parks the run: without the write deadline the stream
+	// would sit in Write until the run ends — which is never.
+	id := submit(t, ts.URL, `{"ids":["svc-block"],"seeds":[1]}`)
+	t.Cleanup(func() {
+		// Cancel the parked run and drain the service so its background
+		// record writes quiesce before TempDir removal.
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req := httptest.NewRequest(http.MethodGet, "/runs/"+id+"/events", nil)
+		svc.ServeHTTP(&stallWriter{}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("events handler still pinned by a stalled client after 5s")
+	}
+}
+
+// TestEventsKeepaliveOnQuietStream: a healthy but idle run still
+// produces traffic (comment keepalives) so stall detection has writes
+// to time out on; data frames remain exactly the status/progress set.
+func TestEventsKeepaliveOnQuietStream(t *testing.T) {
+	svc, ts := newServerCfg(t, t.TempDir(), service.Config{
+		Workers:   1,
+		EventPoll: 10 * time.Millisecond,
+	})
+	t.Cleanup(func() {
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	id := submit(t, ts.URL, `{"ids":["svc-block"],"seeds":[1]}`)
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Let several quiet ticks pass, then cancel the run to end the
+	// stream; the parked point returns promptly on cancellation.
+	time.Sleep(100 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	evs := readSSE(t, resp.Body)
+	if len(evs) == 0 {
+		t.Fatal("no events before stream end")
+	}
+	for _, ev := range evs {
+		if ev.name != "status" && ev.name != "progress" {
+			t.Errorf("unexpected event %q (keepalives must be comments, not frames)", ev.name)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.name != "status" || !strings.Contains(last.data, service.StatusCancelled) {
+		t.Errorf("stream ended on %s %q, want terminal cancelled status", last.name, last.data)
+	}
+}
+
+// TestFleetOnlyRequiresFleet: the config guard mirrors the CLI's.
+func TestFleetOnlyRequiresFleet(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := service.New(service.Config{Store: st, FleetOnly: true}); err == nil || !strings.Contains(err.Error(), "Fleet") {
+		t.Fatalf("New(FleetOnly without Fleet) = %v, want config error", err)
+	}
+}

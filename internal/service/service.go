@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/fleet"
 	"github.com/llama-surface/llama/internal/store"
 )
 
@@ -89,20 +90,47 @@ type Config struct {
 	// frames; ≤0 means 200ms. Terminal transitions are pushed promptly
 	// regardless.
 	EventPoll time.Duration
+	// EventWriteTimeout bounds each /runs/{id}/events frame write: a
+	// client that stops reading for this long has its stream torn down
+	// instead of pinning the handler goroutine forever. ≤0 means 10s.
+	EventWriteTimeout time.Duration
+	// Fleet mounts the distributed-worker endpoints (/fleet/lease,
+	// /fleet/heartbeat, /fleet/complete, /fleet/stats): llama-worker
+	// processes lease shard jobs from this server and post rows back.
+	// Results stay byte-identical to a single-process run for any fleet
+	// size or failure schedule (determinism invariant 9).
+	Fleet bool
+	// FleetTTL is the lease heartbeat deadline; a worker silent for this
+	// long loses its lease and the job is reassigned. ≤0 means 10s.
+	// Ignored unless Fleet is set.
+	FleetTTL time.Duration
+	// FleetOnly starts no local compute workers: every job is executed
+	// by fleet workers, and the server spends its CPU on serving.
+	// Requires Fleet.
+	FleetOnly bool
 }
 
 // Server is the HTTP service: one shared Scheduler, one Store, and the
 // run registry mapping IDs to live handles and durable records. It
 // implements http.Handler.
 type Server struct {
-	st        *store.Store
-	sched     *experiments.Scheduler
-	mux       *http.ServeMux
-	logf      func(format string, args ...any)
-	now       func() time.Time
-	maxQueued int
-	retention time.Duration
-	eventPoll time.Duration
+	st         *store.Store
+	sched      *experiments.Scheduler
+	mux        *http.ServeMux
+	logf       func(format string, args ...any)
+	now        func() time.Time
+	maxQueued  int
+	retention  time.Duration
+	eventPoll  time.Duration
+	eventWrite time.Duration
+
+	// fleetc is the lease coordinator when Config.Fleet is set; reapStop
+	// ends its periodic expiry sweep. The coordinator runs on the real
+	// clock even when Config.Now is pinned: lease deadlines police live
+	// worker processes, not record timestamps.
+	fleetc   *fleet.Coordinator
+	reapStop chan struct{}
+	reapDone chan struct{}
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -149,15 +177,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("service: Config.Store is required")
 	}
+	if cfg.FleetOnly && !cfg.Fleet {
+		return nil, errors.New("service: Config.FleetOnly requires Config.Fleet")
+	}
 	s := &Server{
-		st:        cfg.Store,
-		sched:     experiments.NewScheduler(experiments.SchedulerConfig{Workers: cfg.Workers, Store: cfg.Store}),
-		logf:      cfg.Logf,
-		now:       cfg.Now,
-		maxQueued: cfg.MaxQueued,
-		retention: cfg.Retention,
-		eventPoll: cfg.EventPoll,
-		runs:      make(map[string]*run),
+		st: cfg.Store,
+		sched: experiments.NewScheduler(experiments.SchedulerConfig{
+			Workers: cfg.Workers, Store: cfg.Store, LeaseOnly: cfg.FleetOnly,
+		}),
+		logf:       cfg.Logf,
+		now:        cfg.Now,
+		maxQueued:  cfg.MaxQueued,
+		retention:  cfg.Retention,
+		eventPoll:  cfg.EventPoll,
+		eventWrite: cfg.EventWriteTimeout,
+		runs:       make(map[string]*run),
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -167,6 +201,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.eventPoll <= 0 {
 		s.eventPoll = 200 * time.Millisecond
+	}
+	if s.eventWrite <= 0 {
+		s.eventWrite = 10 * time.Second
+	}
+	if cfg.Fleet {
+		var err error
+		s.fleetc, err = fleet.NewCoordinator(fleet.Config{
+			Sched: s.sched, TTL: cfg.FleetTTL, Logf: s.logf,
+		})
+		if err != nil {
+			s.sched.Close()
+			return nil, fmt.Errorf("service: %w", err)
+		}
 	}
 	recs, err := cfg.Store.ListRuns()
 	if err != nil {
@@ -200,9 +247,42 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /runs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
 	mux.HandleFunc("POST /admin/gc", s.handleGC)
+	if s.fleetc != nil {
+		// The fleet handler's patterns already carry the /fleet prefix.
+		mux.Handle("/fleet/", fleet.Handler(s.fleetc))
+		// Expiry is otherwise checked lazily on fleet calls; the periodic
+		// sweep guarantees a dead fleet's leases still requeue (and local
+		// workers pick them up) even when no worker ever calls again.
+		s.reapStop = make(chan struct{})
+		s.reapDone = make(chan struct{})
+		go s.reapLeases()
+	}
 	s.mux = mux
 	return s, nil
 }
+
+// reapLeases expires overdue fleet leases on a timer until Shutdown.
+func (s *Server) reapLeases() {
+	defer close(s.reapDone)
+	period := s.fleetc.TTL() / 2
+	if period <= 0 {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			s.fleetc.Reap()
+		}
+	}
+}
+
+// Fleet returns the lease coordinator, nil unless Config.Fleet was
+// set. Tests and operators use it for stats.
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleetc }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -227,6 +307,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	if s.fleetc != nil {
+		close(s.reapStop)
+		<-s.reapDone
+		s.fleetc.Close() // outstanding leases requeue, then cancellation settles them
+	}
 	for _, h := range live {
 		h.Cancel()
 	}
@@ -690,16 +775,21 @@ func terminalStatus(status string) bool { return status != StatusRunning }
 
 // handleEvents streams one run's lifecycle as server-sent events: a
 // "status" frame immediately and on every status change (including a
-// prompt terminal frame via the run's finished channel), and a
-// "progress" frame whenever the sampled job counters move. The stream
-// ends with the terminal status frame, or when the client goes away.
+// prompt terminal frame via the run's finished channel), a "progress"
+// frame whenever the sampled job counters move, and an SSE comment as
+// keepalive on quiet ticks. Every write carries a deadline
+// (Config.EventWriteTimeout) — the keepalives guarantee a write
+// happens each poll tick, so a client that stalls without closing its
+// connection tears the stream down within timeout+poll instead of
+// pinning this goroutine for the run's lifetime. The stream ends with
+// the terminal status frame, when the client goes away, or on the
+// first failed write.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	rn, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
@@ -707,17 +797,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	writeEvent := func(event string, v any) {
+	// Deadlines use the wall clock even when s.now is pinned: they bound
+	// real network writes, not record timestamps. A transport that cannot
+	// set deadlines (ErrNotSupported) still streams, it just keeps the
+	// old unbounded behavior.
+	rc := http.NewResponseController(w)
+	push := func(frame []byte) error {
+		if err := rc.SetWriteDeadline(time.Now().Add(s.eventWrite)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	writeEvent := func(event string, v any) error {
 		data, err := json.Marshal(v)
 		if err != nil {
-			return
+			return nil // unserializable frame: skip it, keep the stream
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
-		fl.Flush()
+		return push(fmt.Appendf(nil, "event: %s\ndata: %s\n\n", event, data))
 	}
 	cur := s.runStatusOf(rn)
-	writeEvent("status", cur)
-	if terminalStatus(cur.Status) {
+	if writeEvent("status", cur) != nil || terminalStatus(cur.Status) {
 		return
 	}
 	lastStatus := cur.Status
@@ -732,20 +834,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-rn.finished:
-			writeEvent("status", s.runStatusOf(rn))
+			_ = writeEvent("status", s.runStatusOf(rn))
 			return
 		case <-ticker.C:
 			cur = s.runStatusOf(rn)
 			switch {
 			case cur.Status != lastStatus:
 				lastStatus = cur.Status
-				writeEvent("status", cur)
-				if terminalStatus(cur.Status) {
+				if writeEvent("status", cur) != nil || terminalStatus(cur.Status) {
 					return
 				}
 			case cur.Progress != nil && cur.Progress.DoneJobs != lastDone:
 				lastDone = cur.Progress.DoneJobs
-				writeEvent("progress", cur.Progress)
+				if writeEvent("progress", cur.Progress) != nil {
+					return
+				}
+			default:
+				if push([]byte(": keepalive\n\n")) != nil {
+					return
+				}
 			}
 		}
 	}

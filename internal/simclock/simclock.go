@@ -65,6 +65,12 @@ func New() *Clock {
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Duration { return c.now }
 
+// Time projects the current virtual time onto a wall-clock base:
+// base + Now(). It adapts the simulated timeline to APIs that take a
+// time.Time clock (the fleet coordinator's Config.Now), so lease-expiry
+// edges can be driven deterministically event by event.
+func (c *Clock) Time(base time.Time) time.Time { return base.Add(c.now) }
+
 // Schedule runs fn once, delay after the current time. A negative delay
 // panics: the simulator cannot deliver events to the past.
 func (c *Clock) Schedule(delay time.Duration, fn func(now time.Duration)) {

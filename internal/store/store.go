@@ -20,6 +20,19 @@
 // JSON numbers: that round-trips every finite float64 bit-exactly and
 // carries NaN/±Inf (which encoding/json rejects as numbers), so a
 // resumed run can reproduce a fresh run bit-for-bit.
+//
+// Cross-process writers: several processes (llama-serve plus fleet
+// llama-worker processes on a shared filesystem) may hold the same
+// directory open and persist the same cell concurrently. That is safe
+// by construction, not by locking: a record is a pure function of
+// (experiment, seed), so racing writers produce identical bytes, and
+// the atomic rename means the last rename wins with the same content —
+// a reader observes either no file or one complete valid record, never
+// a torn one. Each process's index.jsonl rewrite races the others' the
+// same way; since the manifest is derived state rebuilt by Open, a
+// stale manifest from the losing writer costs nothing. The property
+// test TestCrossProcessWriters drives two handles concurrently and
+// checks exactly these invariants.
 package store
 
 import (
