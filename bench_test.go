@@ -245,6 +245,63 @@ func BenchmarkSurfaceJonesTransmissiveUncached(b *testing.B) {
 	}
 }
 
+// scanSteps is the per-axis resolution of the bias-plane scan A/B
+// benchmarks: 21×21 = 441 operating points per iteration, the shape of
+// the fig15/fig16 sweeps.
+const scanSteps = 21
+
+// benchBiasPlaneScan sweeps the full (vx, vy) bias plane at the carrier
+// once per iteration. The per-point jitter makes every axis bias value a
+// first touch for the exact table (axis entries are keyed by bias, so a
+// plain grid would reuse each value 21×), so the exact number measures
+// compute-and-memoize cost rather than a warm rerun — the honest
+// baseline for the LUT, which answers every point by in-grid
+// interpolation regardless of whether it was seen before.
+func benchBiasPlaneScan(b *testing.B) {
+	b.Helper()
+	surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < scanSteps; x++ {
+			for y := 0; y < scanSteps; y++ {
+				// Unique per point for the first ~2268 iterations (CI runs
+				// 100), bounded ≤1 V so the scan stays inside the LUT grid.
+				p := (i*scanSteps+x)*scanSteps + y
+				off := float64(p%1_000_000) * 1e-6
+				surf.SetBias(float64(x)*1.4+off, float64(y)*1.4+off)
+				sink += surf.JonesTransmissive(DefaultCarrierHz).MaxAbs()
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("degenerate scan")
+	}
+}
+
+// BenchmarkBiasPlaneScanExact / ...LUT / ...Uncached are the A/B/C the
+// CI bench job gates on: the LUT path must be ≥2× faster than exact and
+// allocation-free on in-grid lookups (the grid is built untimed).
+func BenchmarkBiasPlaneScanExact(b *testing.B) { benchBiasPlaneScan(b) }
+
+func BenchmarkBiasPlaneScanLUT(b *testing.B) {
+	SetLUT(true)
+	defer SetLUT(false)
+	// Build the design's grid (and the shared QWP entry) outside the
+	// timed region; every timed lookup is then pure interpolation.
+	warm := NewSurface(OptimizedFR4(DefaultCarrierHz))
+	warm.SetBias(8, 8)
+	warm.JonesTransmissive(DefaultCarrierHz)
+	benchBiasPlaneScan(b)
+}
+
+func BenchmarkBiasPlaneScanUncached(b *testing.B) {
+	SetCaching(false)
+	defer SetCaching(true)
+	benchBiasPlaneScan(b)
+}
+
 func BenchmarkClosedLoopSweep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

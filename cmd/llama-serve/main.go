@@ -53,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/llama-surface/llama/internal/experiments"
 	"github.com/llama-surface/llama/internal/service"
 	"github.com/llama-surface/llama/internal/store"
 )
@@ -83,6 +84,14 @@ func main() {
 	st, err := store.Open(*storeDir)
 	if err != nil {
 		fatal(err)
+	}
+	// Warm-start the per-design response tables from the store so the
+	// first run after a restart skips previously computed physics.
+	if nt, ne, warns := experiments.LoadResponseTables(st); nt > 0 || len(warns) > 0 {
+		for _, warn := range warns {
+			log.Printf("llama-serve: %s", warn)
+		}
+		log.Printf("llama-serve: warm-started %d response table(s), %d entries", nt, ne)
 	}
 	svc, err := service.New(service.Config{
 		Store: st, Workers: *workers, Logf: log.Printf,
@@ -121,6 +130,14 @@ func main() {
 	}
 	if err := svc.Shutdown(dctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
+	}
+	// Persist the response tables grown during this lifetime so the next
+	// process (or a fleet worker sharing the store) starts warm.
+	if nt, ne, warns := experiments.SaveResponseTables(st); nt > 0 || len(warns) > 0 {
+		for _, warn := range warns {
+			log.Printf("llama-serve: %s", warn)
+		}
+		log.Printf("llama-serve: persisted %d response table(s), %d entries", nt, ne)
 	}
 	log.Printf("llama-serve: drained cleanly")
 }

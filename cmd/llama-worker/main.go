@@ -15,6 +15,11 @@
 //	llama-worker -coordinator URL -store DIR                 also persist whole cells directly
 //	llama-worker -coordinator URL -poll 100ms                idle lease-poll backoff
 //
+// With -store DIR the worker also warm-starts its per-design response
+// tables from DIR/tables (and persists the grown tables on exit), and
+// reports its warm-start import counts and live cache hit rate to the
+// coordinator — visible per worker under GET /fleet/stats.
+//
 // SIGINT/SIGTERM stops the loop after the in-flight job; a harder kill
 // is always safe (that is the point of leases).
 package main
@@ -30,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/llama-surface/llama/internal/experiments"
 	"github.com/llama-surface/llama/internal/fleet"
+	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/store"
 )
 
@@ -52,11 +59,20 @@ func main() {
 		*name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
 	var st *store.Store
+	warmTables, warmEntries := 0, 0
 	if *storeDir != "" {
 		var err error
 		if st, err = store.Open(*storeDir); err != nil {
 			fatal(err)
 		}
+		// Warm-start the response tables so this worker's first jobs skip
+		// physics any previous process already computed.
+		var warns []string
+		warmTables, warmEntries, warns = experiments.LoadResponseTables(st)
+		for _, warn := range warns {
+			log.Printf("llama-worker: %s", warn)
+		}
+		log.Printf("llama-worker: warm-started %d response table(s), %d entries", warmTables, warmEntries)
 	}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		Client: &fleet.Client{Base: *coordinator},
@@ -64,6 +80,16 @@ func main() {
 		Store:  st,
 		Poll:   *poll,
 		Logf:   log.Printf,
+		Tables: func() *fleet.WorkerTables {
+			cs := metasurface.GlobalCacheStats()
+			return &fleet.WorkerTables{
+				WarmTables:  warmTables,
+				WarmEntries: warmEntries,
+				Hits:        cs.Hits,
+				Misses:      cs.Misses,
+				HitRate:     cs.HitRate(),
+			}
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -73,6 +99,15 @@ func main() {
 	log.Printf("llama-worker: %s joining fleet at %s", *name, *coordinator)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
+	}
+	if st != nil {
+		// Persist the tables grown during this worker's lifetime so the
+		// next process sharing the store starts warm.
+		nt, ne, warns := experiments.SaveResponseTables(st)
+		for _, warn := range warns {
+			log.Printf("llama-worker: %s", warn)
+		}
+		log.Printf("llama-worker: persisted %d response table(s), %d entries", nt, ne)
 	}
 	log.Printf("llama-worker: %s stopped after %d jobs", *name, w.Jobs())
 }

@@ -111,6 +111,10 @@ func TestBatchedMidBatchErrorSalvage(t *testing.T) {
 // lookups per experiment and carry exact run-wide totals; the rendered
 // summary must surface them.
 func TestReportCarriesCacheStats(t *testing.T) {
+	// Response tables are design-keyed and process-wide: any earlier test
+	// using fig16's design leaves its entries warm, which would turn this
+	// run's misses into hits. Start from a cold registry.
+	metasurface.ResetResponseTables()
 	metasurface.ResetGlobalCacheStats()
 	rep, err := Execute(context.Background(), Options{IDs: []string{"fig16"}, Concurrency: 1})
 	if err != nil {

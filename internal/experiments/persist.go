@@ -67,6 +67,14 @@ func loadStored(st *store.Store, id string, seed int64) (*Result, string, bool) 
 		}
 		return nil, fmt.Sprintf("%v: recomputing", err), false
 	}
+	// Cells computed in approximate LUT mode are never reused: their rows
+	// are not bit-identical to exact computation, and invariant 6
+	// promises a resumed run reproduces a fresh (exact) run bit-for-bit.
+	// Recomputing them is cheap — and under LUT mode, cheap by design.
+	if rec.Meta.LUT {
+		return nil, fmt.Sprintf("store: record for %s (seed %d) at %s was computed in approximate LUT mode: recomputing",
+			id, seed, rec.Path), false
+	}
 	// A record that predates a change to the experiment's table shape
 	// would fold garbage into the aggregates; validate against the
 	// sweep's declared columns before trusting it.

@@ -91,6 +91,29 @@ type Stats struct {
 	// Failed counts completions that carried a worker error.
 	Expired int64 `json:"expired"`
 	Failed  int64 `json:"failed"`
+	// Workers maps worker names to their latest reported response-table
+	// warmth. Absent until a worker reports one (the empty map is
+	// omitted from JSON, so consumers of the counter fields are
+	// unaffected).
+	Workers map[string]WorkerTables `json:"workers,omitempty"`
+}
+
+// WorkerTables is one worker's response-table warmth report: how much
+// persisted precompute it imported at startup and its live exact
+// response-cache counters. Workers attach it to lease requests;
+// GET /fleet/stats surfaces the latest report per worker, so a fleet
+// operator can see whether workers actually start warm instead of
+// re-deriving every design's physics from scratch.
+type WorkerTables struct {
+	// WarmTables and WarmEntries count the persisted response tables
+	// (and total entries) the worker imported at startup.
+	WarmTables  int `json:"warm_tables"`
+	WarmEntries int `json:"warm_entries"`
+	// Hits and Misses are the worker's process-wide exact response-cache
+	// lookups so far; HitRate is Hits/(Hits+Misses), 0 before any lookup.
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // Coordinator deals scheduler jobs to fleet workers and polices their
@@ -303,11 +326,38 @@ func (c *Coordinator) endLocked(l *lease, st leaseState, now time.Time) {
 	l.ended = now
 }
 
-// Stats returns a snapshot of the lease-lifecycle counters.
+// Stats returns a snapshot of the lease-lifecycle counters. The
+// Workers map is deep-copied so the snapshot stays stable while
+// workers keep reporting.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	if len(c.stats.Workers) > 0 {
+		st.Workers = make(map[string]WorkerTables, len(c.stats.Workers))
+		for name, wt := range c.stats.Workers {
+			st.Workers[name] = wt
+		}
+	}
+	return st
+}
+
+// RecordWorkerTables stores a worker's latest response-table warmth
+// report under its name (latest report wins). Empty worker names are
+// dropped — there is nothing meaningful to attribute them to.
+func (c *Coordinator) RecordWorkerTables(worker string, wt WorkerTables) {
+	if worker == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if c.stats.Workers == nil {
+		c.stats.Workers = make(map[string]WorkerTables)
+	}
+	c.stats.Workers[worker] = wt
 }
 
 // Close stops granting and abandons every live lease so outstanding

@@ -27,6 +27,10 @@ type leaseRequest struct {
 	// Worker is a self-chosen worker name, used only in coordinator logs
 	// and stats attribution.
 	Worker string `json:"worker"`
+	// Tables, when present, piggybacks the worker's response-table
+	// warmth report on the lease poll (surfaced via GET /fleet/stats).
+	// Optional so pre-existing workers stay wire-compatible.
+	Tables *WorkerTables `json:"tables,omitempty"`
 }
 
 // leaseResponse is the 200 body of POST /fleet/lease; "no job" is a
@@ -172,6 +176,9 @@ func Handler(c *Coordinator) http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
+		if req.Tables != nil {
+			c.RecordWorkerTables(req.Worker, *req.Tables)
+		}
 		g, ok := c.Lease(req.Worker)
 		if !ok {
 			w.WriteHeader(http.StatusNoContent)
@@ -295,11 +302,12 @@ func (c *Client) post(path string, in, out any) (int, error) {
 	return resp.StatusCode, nil
 }
 
-// Lease requests a job; ok is false when the coordinator has none
-// right now.
-func (c *Client) Lease(worker string) (grant Grant, ok bool, err error) {
+// Lease requests a job, optionally piggybacking the worker's
+// response-table warmth report (nil to report nothing); ok is false
+// when the coordinator has none right now.
+func (c *Client) Lease(worker string, tables *WorkerTables) (grant Grant, ok bool, err error) {
 	var resp leaseResponse
-	status, err := c.post("/fleet/lease", leaseRequest{Worker: worker}, &resp)
+	status, err := c.post("/fleet/lease", leaseRequest{Worker: worker, Tables: tables}, &resp)
 	if err != nil {
 		return Grant{}, false, err
 	}

@@ -1,0 +1,81 @@
+package fleet
+
+// Coverage of the worker warm-table reporting: the coordinator keeps the
+// latest report per worker, hands out only copies, and the report rides
+// the lease poll over HTTP so GET /fleet/stats can show each worker's
+// warm-start hit rate.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordWorkerTables: per-worker reports land in Stats, latest wins,
+// anonymous reports are dropped, and the returned map is a copy — a
+// caller mutating it must not corrupt coordinator state.
+func TestRecordWorkerTables(t *testing.T) {
+	_, c, _ := httpFleet(t, time.Second)
+
+	if st := c.Stats(); len(st.Workers) != 0 {
+		t.Fatalf("fresh coordinator already has worker tables: %+v", st.Workers)
+	}
+	c.RecordWorkerTables("", WorkerTables{WarmTables: 1}) // anonymous: dropped
+	c.RecordWorkerTables("w1", WorkerTables{WarmTables: 2, WarmEntries: 40, Hits: 10, Misses: 30, HitRate: 0.25})
+	c.RecordWorkerTables("w2", WorkerTables{WarmTables: 1, WarmEntries: 7})
+	st := c.Stats()
+	if len(st.Workers) != 2 {
+		t.Fatalf("Workers = %+v, want w1 and w2 only", st.Workers)
+	}
+	if wt := st.Workers["w1"]; wt.WarmTables != 2 || wt.Hits != 10 || wt.HitRate != 0.25 {
+		t.Errorf("w1 = %+v", wt)
+	}
+
+	// Latest report wins: the worker's counters grow across polls.
+	c.RecordWorkerTables("w1", WorkerTables{WarmTables: 2, WarmEntries: 40, Hits: 90, Misses: 30, HitRate: 0.75})
+	if wt := c.Stats().Workers["w1"]; wt.Hits != 90 || wt.HitRate != 0.75 {
+		t.Errorf("stale report survived: %+v", wt)
+	}
+
+	// The snapshot is a copy.
+	snap := c.Stats()
+	snap.Workers["w1"] = WorkerTables{}
+	delete(snap.Workers, "w2")
+	if wt := c.Stats().Workers["w1"]; wt.Hits != 90 {
+		t.Error("mutating a Stats snapshot reached coordinator state")
+	}
+	if _, ok := c.Stats().Workers["w2"]; !ok {
+		t.Error("deleting from a Stats snapshot reached coordinator state")
+	}
+}
+
+// TestLeaseCarriesWorkerTables: a table report attached to the lease
+// poll is recorded even when no job is granted, a report-less poll stays
+// wire-compatible, and the report is visible through GET /fleet/stats.
+func TestLeaseCarriesWorkerTables(t *testing.T) {
+	_, c, ts := httpFleet(t, time.Second)
+	cl := &Client{Base: ts.URL}
+
+	wt := WorkerTables{WarmTables: 3, WarmEntries: 120, Hits: 50, Misses: 10, HitRate: 50.0 / 60}
+	if _, ok, err := cl.Lease("warm-worker", &wt); err != nil || ok {
+		t.Fatalf("lease on an idle fleet: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := cl.Lease("plain-worker", nil); err != nil || ok {
+		t.Fatalf("report-less lease: ok=%v err=%v", ok, err)
+	}
+
+	if got := c.Stats().Workers["warm-worker"]; got != wt {
+		t.Errorf("coordinator recorded %+v, want %+v", got, wt)
+	}
+	if _, ok := c.Stats().Workers["plain-worker"]; ok {
+		t.Error("report-less worker grew a tables entry")
+	}
+
+	// Round trip through the JSON stats endpoint.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Workers["warm-worker"]; got != wt {
+		t.Errorf("/fleet/stats returned %+v, want %+v", got, wt)
+	}
+}

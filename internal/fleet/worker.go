@@ -38,6 +38,11 @@ type WorkerConfig struct {
 	// Compute overrides the job executor; defaults to
 	// experiments.ComputeJob. Tests inject hangs and failures here.
 	Compute func(ctx context.Context, d experiments.JobDesc) (experiments.ExternalResult, error)
+	// Tables, when non-nil, is consulted before each lease request and
+	// its report piggybacked to the coordinator (GET /fleet/stats shows
+	// the latest per worker). cmd/llama-worker wires it to the process's
+	// live response-table stats plus the warm-start import counts.
+	Tables func() *WorkerTables
 }
 
 // Worker runs the fleet pull loop against one coordinator.
@@ -77,7 +82,11 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		grant, ok, err := w.cfg.Client.Lease(w.cfg.Name)
+		var wt *WorkerTables
+		if w.cfg.Tables != nil {
+			wt = w.cfg.Tables()
+		}
+		grant, ok, err := w.cfg.Client.Lease(w.cfg.Name, wt)
 		if err != nil {
 			w.cfg.Logf("fleet worker %s: lease: %v (retrying)", w.cfg.Name, err)
 			if !sleepCtx(ctx, w.cfg.Poll) {

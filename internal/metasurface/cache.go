@@ -1,15 +1,18 @@
 package metasurface
 
-// The response cache: memoization of the per-axis circuit evaluations
+// The response table: memoization of the per-axis circuit evaluations
 // underneath every Surface query. The physics is pure — an axis response
 // depends only on (design, axis, frequency, bias) and a QWP response only
 // on (design, frequency) — so repeated evaluations at the same operating
 // point (a bias-plane FullScan revisits each per-axis bias 21 times; the
 // QWP boards never change at all) can be computed once and shared, bit
-// for bit. The cache is transparent by construction: a miss runs exactly
-// the evaluation the uncached path runs, and a hit returns the stored
-// result of that same evaluation, so cached and uncached outputs are
-// bit-identical (determinism invariant #5 in ARCHITECTURE.md).
+// for bit. Because the design — not the Surface — determines the result,
+// one table serves every Surface of a design (see table.go for the
+// fingerprint-keyed registry and the persisted export/import forms). The
+// table is transparent by construction: a miss runs exactly the
+// evaluation the uncached path runs, and a hit returns the stored result
+// of that same evaluation, so cached and uncached outputs are
+// bit-identical (determinism invariants #5 and #10 in ARCHITECTURE.md).
 
 import (
 	"math"
@@ -46,9 +49,12 @@ func (c CacheStats) Sub(earlier CacheStats) CacheStats {
 // init.
 var cachingOff atomic.Bool
 
-// Global lookup counters aggregated across every Surface in the process,
-// so harnesses (llama-bench, the experiment engine) can report cache
-// effectiveness without plumbing individual surfaces out of runners.
+// Global lookup counters aggregated across every design table in the
+// process, so harnesses (llama-bench, the experiment engine) can report
+// cache effectiveness without plumbing individual surfaces out of
+// runners. Each lookup is counted exactly once here, once on its design
+// table, and once on the Surface that asked — three views of the same
+// event, never double-counted within a view.
 var globalHits, globalMisses atomic.Uint64
 
 // SetCaching switches response caching on or off process-wide (the
@@ -60,9 +66,10 @@ func SetCaching(on bool) { cachingOff.Store(!on) }
 // CachingEnabled reports whether response caching is on.
 func CachingEnabled() bool { return !cachingOff.Load() }
 
-// GlobalCacheStats returns the process-wide response-cache counters,
-// summed over every Surface. The counters are monotone; callers wanting a
-// windowed measurement snapshot before/after and use CacheStats.Sub.
+// GlobalCacheStats returns the process-wide response-table counters,
+// summed over every design table. The counters are monotone; callers
+// wanting a windowed measurement snapshot before/after and use
+// CacheStats.Sub.
 func GlobalCacheStats() CacheStats {
 	return CacheStats{Hits: globalHits.Load(), Misses: globalMisses.Load()}
 }
@@ -81,71 +88,80 @@ type axisKey struct {
 	f, v uint64
 }
 
-// responseCache memoizes the per-axis and per-frequency QWP evaluations
-// of one Surface. It is safe for concurrent use: lookups take a read
-// lock, stores a write lock, and the counters are atomic. Two goroutines
-// missing on the same key both compute (the evaluation is pure, so they
-// store the same bits) — redundant work is bounded by the worker count
-// and never affects results.
-type responseCache struct {
+// responseTable memoizes the per-axis and per-frequency QWP evaluations
+// of one design, shared by every Surface of that design. It is safe for
+// concurrent use: lookups take a read lock, stores a write lock, and the
+// counters are atomic. Two goroutines missing on the same key both
+// compute (the evaluation is pure, so they store the same bits) —
+// redundant work is bounded by the worker count and never affects
+// results. The lut pointer holds the design's precomputed interpolation
+// grid when approximate mode is active (lut.go).
+type responseTable struct {
+	fingerprint string
+
 	mu   sync.RWMutex
 	axis map[axisKey]axisResponse
 	qwp  map[uint64]qwpResponse
 
 	hits, misses atomic.Uint64
+
+	lut atomic.Pointer[lutGrid]
 }
 
-// newResponseCache returns an empty cache.
-func newResponseCache() *responseCache {
-	return &responseCache{
-		axis: make(map[axisKey]axisResponse),
-		qwp:  make(map[uint64]qwpResponse),
+// newResponseTable returns an empty table for one design fingerprint.
+func newResponseTable(fp string) *responseTable {
+	return &responseTable{
+		fingerprint: fp,
+		axis:        make(map[axisKey]axisResponse),
+		qwp:         make(map[uint64]qwpResponse),
 	}
 }
 
-// stats snapshots the cache's counters.
-func (c *responseCache) stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+// stats snapshots the table's counters.
+func (t *responseTable) stats() CacheStats {
+	return CacheStats{Hits: t.hits.Load(), Misses: t.misses.Load()}
 }
 
 // axisAt returns the memoized per-axis response, computing and storing it
-// on first use. The hit path performs no allocation.
-func (c *responseCache) axisAt(d Design, axis Axis, f, v float64) axisResponse {
+// on first use, and reports whether it was a hit. The hit path performs
+// no allocation.
+func (t *responseTable) axisAt(d Design, axis Axis, f, v float64) (axisResponse, bool) {
 	key := axisKey{axis: axis, f: math.Float64bits(f), v: math.Float64bits(v)}
-	c.mu.RLock()
-	r, ok := c.axis[key]
-	c.mu.RUnlock()
+	t.mu.RLock()
+	r, ok := t.axis[key]
+	t.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		t.hits.Add(1)
 		globalHits.Add(1)
-		return r
+		return r, true
 	}
-	c.misses.Add(1)
+	t.misses.Add(1)
 	globalMisses.Add(1)
 	r = d.axisEval(axis, f, v)
-	c.mu.Lock()
-	c.axis[key] = r
-	c.mu.Unlock()
-	return r
+	t.mu.Lock()
+	t.axis[key] = r
+	t.mu.Unlock()
+	return r, false
 }
 
 // qwpAt returns the memoized QWP response at frequency f, computing and
-// storing it on first use. The hit path performs no allocation.
-func (c *responseCache) qwpAt(d Design, f float64) qwpResponse {
+// storing it on first use, and reports whether it was a hit. The hit
+// path performs no allocation.
+func (t *responseTable) qwpAt(d Design, f float64) (qwpResponse, bool) {
 	key := math.Float64bits(f)
-	c.mu.RLock()
-	r, ok := c.qwp[key]
-	c.mu.RUnlock()
+	t.mu.RLock()
+	r, ok := t.qwp[key]
+	t.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		t.hits.Add(1)
 		globalHits.Add(1)
-		return r
+		return r, true
 	}
-	c.misses.Add(1)
+	t.misses.Add(1)
 	globalMisses.Add(1)
 	r = d.qwpEval(f)
-	c.mu.Lock()
-	c.qwp[key] = r
-	c.mu.Unlock()
-	return r
+	t.mu.Lock()
+	t.qwp[key] = r
+	t.mu.Unlock()
+	return r, false
 }

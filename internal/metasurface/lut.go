@@ -1,0 +1,248 @@
+package metasurface
+
+// The approximate LUT mode: instead of memoizing exact operating
+// points, precompute each design's per-axis response on a dense
+// (bias, frequency) grid once and answer every in-range lookup by
+// bilinear interpolation — the technique behind precomputed
+// capacitance→phase tables in metasurface control firmware. This mode
+// is explicitly opt-in (SetLUT / llama-bench -lut) and explicitly
+// approximate: interpolated responses are NOT bit-identical to the
+// exact path, so LUT mode sits outside determinism invariant #10 and
+// its lookups are counted separately (GlobalLUTStats). Out-of-grid
+// operating points (and NaN inputs) fall back to the exact path, so
+// accuracy degrades only inside the advertised, tested error bound.
+// The QWP evaluation is bias-independent and already one exact
+// computation per frequency, so it always stays exact.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/llama-surface/llama/internal/twoport"
+)
+
+// LUTConfig sets the resolution of the precomputed response grid.
+type LUTConfig struct {
+	// BiasSteps is the number of grid samples across the design's
+	// [MinBiasV, MaxBiasV] control range. Minimum 2.
+	BiasSteps int
+	// FreqSteps is the number of grid samples across the frequency
+	// window. Minimum 2.
+	FreqSteps int
+	// FreqSpan is the fractional half-width of the frequency window
+	// around the design center: the grid covers CenterHz·(1±FreqSpan).
+	FreqSpan float64
+}
+
+// DefaultLUTConfig returns the grid used when none is configured:
+// 121 bias steps (0.25 V pitch over a 30 V range) × 33 frequency steps
+// over ±25% of the design center — dense enough for the error bound
+// asserted in lut_test.go, cheap enough (2·121·33 evaluations per
+// design) to build in milliseconds.
+func DefaultLUTConfig() LUTConfig {
+	return LUTConfig{BiasSteps: 121, FreqSteps: 33, FreqSpan: 0.25}
+}
+
+// normalize clamps a config to usable values; zero fields take defaults.
+func (c LUTConfig) normalize() LUTConfig {
+	def := DefaultLUTConfig()
+	if c.BiasSteps <= 0 {
+		c.BiasSteps = def.BiasSteps
+	}
+	if c.FreqSteps <= 0 {
+		c.FreqSteps = def.FreqSteps
+	}
+	if c.FreqSpan <= 0 {
+		c.FreqSpan = def.FreqSpan
+	}
+	if c.BiasSteps < 2 {
+		c.BiasSteps = 2
+	}
+	if c.FreqSteps < 2 {
+		c.FreqSteps = 2
+	}
+	return c
+}
+
+// LUTStats counts approximate-mode lookups: Interpolated answers came
+// from the grid, Fallbacks were out-of-range points answered by the
+// exact path. Counters are monotone; window with Sub.
+type LUTStats struct {
+	Interpolated, Fallbacks uint64
+}
+
+// Sub returns the counter deltas s − earlier.
+func (s LUTStats) Sub(earlier LUTStats) LUTStats {
+	return LUTStats{
+		Interpolated: s.Interpolated - earlier.Interpolated,
+		Fallbacks:    s.Fallbacks - earlier.Fallbacks,
+	}
+}
+
+// lutOn is the package-wide approximate-mode switch; zero value = off.
+var lutOn atomic.Bool
+
+// lutConfig holds the active grid config; nil means DefaultLUTConfig.
+var lutConfig atomic.Pointer[LUTConfig]
+
+// Process-wide approximate-mode counters.
+var globalLUTInterp, globalLUTFallback atomic.Uint64
+
+// SetLUT switches the approximate interpolated-lookup mode on or off
+// process-wide (the llama-bench -lut flag). Off by default: LUT mode
+// trades bit-exactness for speed and must be an explicit choice.
+func SetLUT(on bool) { lutOn.Store(on) }
+
+// LUTEnabled reports whether approximate LUT mode is on.
+func LUTEnabled() bool { return lutOn.Load() }
+
+// SetLUTConfig sets the grid resolution for subsequently built LUTs.
+// Zero or negative fields take their defaults. Already-built grids with
+// a different config are rebuilt on next use.
+func SetLUTConfig(cfg LUTConfig) {
+	cfg = cfg.normalize()
+	lutConfig.Store(&cfg)
+}
+
+// ActiveLUTConfig returns the grid config new LUTs will be built with.
+func ActiveLUTConfig() LUTConfig {
+	if c := lutConfig.Load(); c != nil {
+		return *c
+	}
+	return DefaultLUTConfig()
+}
+
+// GlobalLUTStats returns the process-wide approximate-mode counters.
+func GlobalLUTStats() LUTStats {
+	return LUTStats{Interpolated: globalLUTInterp.Load(), Fallbacks: globalLUTFallback.Load()}
+}
+
+// ResetGlobalLUTStats zeroes the approximate-mode counters (test isolation).
+func ResetGlobalLUTStats() {
+	globalLUTInterp.Store(0)
+	globalLUTFallback.Store(0)
+}
+
+// lutGrid is one design's precomputed response grid: per-axis samples
+// on a regular (bias, frequency) lattice, flattened row-major as
+// [biasIndex*nf + freqIndex]. Built once, then read lock-free through
+// an atomic pointer — the interpolating lookup performs no allocation
+// and takes no lock.
+type lutGrid struct {
+	cfg         LUTConfig
+	vMin, vStep float64
+	fMin, fStep float64
+	nv, nf      int
+	samples     [2][]axisResponse
+}
+
+// buildLUTGrid evaluates the full grid for design d. The samples come
+// from the same axisEval the exact path runs (including the X-axis
+// bias-offset handling), so grid nodes are exact and interpolation
+// error appears only between nodes.
+func buildLUTGrid(d Design, cfg LUTConfig) *lutGrid {
+	cfg = cfg.normalize()
+	g := &lutGrid{
+		cfg:  cfg,
+		nv:   cfg.BiasSteps,
+		nf:   cfg.FreqSteps,
+		vMin: d.MinBiasV,
+		fMin: d.CenterHz * (1 - cfg.FreqSpan),
+	}
+	fMax := d.CenterHz * (1 + cfg.FreqSpan)
+	g.vStep = (d.MaxBiasV - d.MinBiasV) / float64(g.nv-1)
+	g.fStep = (fMax - g.fMin) / float64(g.nf-1)
+	for _, axis := range []Axis{AxisX, AxisY} {
+		s := make([]axisResponse, g.nv*g.nf)
+		for i := 0; i < g.nv; i++ {
+			v := g.vMin + float64(i)*g.vStep
+			for j := 0; j < g.nf; j++ {
+				f := g.fMin + float64(j)*g.fStep
+				s[i*g.nf+j] = d.axisEval(axis, f, v)
+			}
+		}
+		g.samples[axis] = s
+	}
+	return g
+}
+
+// lerpC interpolates one complex component.
+func lerpC(a, b complex128, t float64) complex128 {
+	return a + (b-a)*complex(t, 0)
+}
+
+// sparamsLerp interpolates each scattering component; Z0 is the shared
+// reference impedance, identical at every node, and passes through.
+func sparamsLerp(a, b twoport.SParams, t float64) twoport.SParams {
+	return twoport.SParams{
+		S11: lerpC(a.S11, b.S11, t),
+		S12: lerpC(a.S12, b.S12, t),
+		S21: lerpC(a.S21, b.S21, t),
+		S22: lerpC(a.S22, b.S22, t),
+		Z0:  a.Z0,
+	}
+}
+
+// bilerpAxis bilinearly blends four grid nodes, component-wise: first
+// along frequency (t = tf) at both bias rows, then along bias (t = tv).
+func bilerpAxis(r00, r01, r10, r11 axisResponse, tv, tf float64) axisResponse {
+	blend := func(a, b axisResponse, t float64) axisResponse {
+		return axisResponse{
+			s:          sparamsLerp(a.s, b.s, t),
+			shortGamma: lerpC(a.shortGamma, b.shortGamma, t),
+		}
+	}
+	lo := blend(r00, r01, tf)
+	hi := blend(r10, r11, tf)
+	return blend(lo, hi, tv)
+}
+
+// at answers one lookup from the grid, or reports ok=false for an
+// operating point outside it (including NaN coordinates, which fail
+// every range comparison).
+func (g *lutGrid) at(axis Axis, f, v float64) (axisResponse, bool) {
+	u := (v - g.vMin) / g.vStep
+	w := (f - g.fMin) / g.fStep
+	if !(u >= 0 && u <= float64(g.nv-1) && w >= 0 && w <= float64(g.nf-1)) {
+		return axisResponse{}, false
+	}
+	i, j := int(u), int(w)
+	if i > g.nv-2 {
+		i = g.nv - 2
+	}
+	if j > g.nf-2 {
+		j = g.nf - 2
+	}
+	s := g.samples[axis]
+	base := i*g.nf + j
+	return bilerpAxis(s[base], s[base+1], s[base+g.nf], s[base+g.nf+1],
+		u-float64(i), w-float64(j)), true
+}
+
+// lutMu serializes grid builds per table (a field would do, but the
+// build is rare and cold; one package lock keeps responseTable lean).
+var lutMu sync.Mutex
+
+// lutAxisAt answers an axis lookup in approximate mode: interpolate
+// when the operating point is inside the grid (building the grid on
+// first use, or when the configured resolution changed), otherwise
+// report ok=false so the caller falls back to the exact path.
+func (t *responseTable) lutAxisAt(d Design, axis Axis, f, v float64) (axisResponse, bool) {
+	cfg := ActiveLUTConfig()
+	g := t.lut.Load()
+	if g == nil || g.cfg != cfg {
+		lutMu.Lock()
+		if g = t.lut.Load(); g == nil || g.cfg != cfg {
+			g = buildLUTGrid(d, cfg)
+			t.lut.Store(g)
+		}
+		lutMu.Unlock()
+	}
+	r, ok := g.at(axis, f, v)
+	if ok {
+		globalLUTInterp.Add(1)
+	} else {
+		globalLUTFallback.Add(1)
+	}
+	return r, ok
+}

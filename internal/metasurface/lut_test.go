@@ -1,0 +1,185 @@
+package metasurface
+
+// Contracts of the approximate LUT mode: it is off by default, its
+// interpolation error stays inside a measured bound (and shrinks with a
+// denser grid), out-of-grid points fall back bit-identically to the
+// exact path, in-grid lookups never allocate, and its counters are kept
+// strictly apart from the exact-cache counters.
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// lutMaxErrDefault is the asserted ceiling on |S21_lut − S21_exact|
+// over the probe grid below with the default LUT config. Measured max
+// on this model is ≈2.3e-2 (the bias axis is the sharp direction:
+// varactor capacitance is steepest at low bias); the ceiling leaves
+// ~2× headroom so legitimate float jitter cannot flake the test while
+// a real resolution regression (which shows up as ≥2× error) still
+// fails. README.md quotes this bound.
+const lutMaxErrDefault = 0.05
+
+// offGridProbes returns bias/frequency probe points deliberately off
+// the LUT lattice (irrational-ish offsets), where interpolation error
+// is largest.
+func offGridProbes(d Design) (biases, freqs []float64) {
+	for v := d.MinBiasV + 0.137; v < d.MaxBiasV; v += 1.73 {
+		biases = append(biases, v)
+	}
+	for f := d.CenterHz * 0.81; f <= d.CenterHz*1.19; f += d.CenterHz * 0.0317 {
+		freqs = append(freqs, f)
+	}
+	return biases, freqs
+}
+
+// lutMaxErr measures the worst |S21| deviation of the LUT path from the
+// exact evaluation over the probe grid, for both axes.
+func lutMaxErr(t *testing.T, d Design, cfg LUTConfig) float64 {
+	t.Helper()
+	SetLUTConfig(cfg)
+	SetLUT(true)
+	defer SetLUT(false)
+	s := MustNew(d)
+	biases, freqs := offGridProbes(d)
+	maxErr := 0.0
+	for _, axis := range []Axis{AxisX, AxisY} {
+		for _, v := range biases {
+			for _, f := range freqs {
+				exact := d.axisEval(axis, f, v).s.S21
+				got := s.AxisTransmission(axis, f, v)
+				if e := cmplx.Abs(got - exact); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	return maxErr
+}
+
+// TestLUTDisabledByDefault: approximate mode must never be on unless a
+// caller opted in — and with it off, lookups take the exact path and
+// move no LUT counters.
+func TestLUTDisabledByDefault(t *testing.T) {
+	if LUTEnabled() {
+		t.Fatal("LUT mode on without opt-in")
+	}
+	ResetGlobalLUTStats()
+	ResetResponseTables()
+	s := MustNew(OptimizedFR4Design(units.DefaultCarrierHz))
+	s.SetBias(8, 8)
+	s.JonesTransmissive(units.DefaultCarrierHz)
+	if g := GlobalLUTStats(); g.Interpolated != 0 || g.Fallbacks != 0 {
+		t.Errorf("exact run moved LUT counters: %+v", g)
+	}
+}
+
+// TestLUTErrorBound: with the default grid the interpolated response
+// stays within the advertised error bound of the exact evaluation at
+// every probe point, the error is genuinely nonzero (this mode is
+// approximate, not secretly exact), and a denser grid tightens it.
+func TestLUTErrorBound(t *testing.T) {
+	ResetResponseTables()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	errDefault := lutMaxErr(t, d, DefaultLUTConfig())
+	t.Logf("default grid max |ΔS21| = %.3e (bound %.3e)", errDefault, lutMaxErrDefault)
+	if errDefault > lutMaxErrDefault {
+		t.Errorf("default-grid LUT error %.3e exceeds the advertised bound %.3e", errDefault, lutMaxErrDefault)
+	}
+	if errDefault == 0 {
+		t.Error("LUT error exactly zero at off-grid probes: the test is not probing interpolation")
+	}
+
+	dense := DefaultLUTConfig()
+	dense.BiasSteps = dense.BiasSteps*4 - 3
+	dense.FreqSteps = dense.FreqSteps*4 - 3
+	ResetResponseTables()
+	errDense := lutMaxErr(t, d, dense)
+	t.Logf("4x-dense grid max |ΔS21| = %.3e", errDense)
+	if errDense >= errDefault {
+		t.Errorf("densifying the grid did not reduce the error: %.3e -> %.3e", errDefault, errDense)
+	}
+	SetLUTConfig(DefaultLUTConfig())
+}
+
+// TestLUTOutOfRangeFallsBackExact: operating points outside the grid
+// (and NaN) must be answered by the exact path, bit-identically, and
+// counted as fallbacks.
+func TestLUTOutOfRangeFallsBackExact(t *testing.T) {
+	ResetResponseTables()
+	ResetGlobalLUTStats()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	SetLUTConfig(DefaultLUTConfig())
+	SetLUT(true)
+	defer SetLUT(false)
+	s := MustNew(d)
+	// Far outside the frequency window: CenterHz·(1±0.25).
+	f := d.CenterHz * 2
+	got := s.AxisTransmission(AxisX, f, 8)
+	want := d.axisEval(AxisX, f, 8).s.S21
+	if !sameC(got, want) {
+		t.Error("out-of-grid LUT lookup not bit-identical to the exact path")
+	}
+	g := GlobalLUTStats()
+	if g.Fallbacks == 0 {
+		t.Errorf("out-of-grid lookup not counted as fallback: %+v", g)
+	}
+	if g.Interpolated != 0 {
+		t.Errorf("out-of-grid lookup counted as interpolated: %+v", g)
+	}
+}
+
+// TestLUTInGridLookupDoesNotAllocate: once the grid is built, the
+// interpolating lookup must be allocation-free — the whole point of the
+// mode is a tight scan loop.
+func TestLUTInGridLookupDoesNotAllocate(t *testing.T) {
+	ResetResponseTables()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	SetLUTConfig(DefaultLUTConfig())
+	SetLUT(true)
+	defer SetLUT(false)
+	s := MustNew(d)
+	f := d.CenterHz
+	s.AxisTransmission(AxisX, f, 8.2) // builds the grid
+	if n := testing.AllocsPerRun(100, func() {
+		s.AxisTransmission(AxisX, f, 8.2)
+	}); n != 0 {
+		t.Errorf("in-grid LUT lookup allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestLUTCountersSeparateFromCache: interpolated answers must not move
+// the exact-cache counters (per surface or global) — the two stats
+// families answer different questions and double counting would corrupt
+// both.
+func TestLUTCountersSeparateFromCache(t *testing.T) {
+	ResetResponseTables()
+	ResetGlobalLUTStats()
+	cacheBefore := GlobalCacheStats()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	SetLUTConfig(DefaultLUTConfig())
+	SetLUT(true)
+	defer SetLUT(false)
+	s := MustNew(d)
+	for i := 0; i < 5; i++ {
+		s.AxisTransmission(AxisX, d.CenterHz, 8+float64(i)*0.01)
+	}
+	if g := GlobalLUTStats(); g.Interpolated != 5 {
+		t.Errorf("LUT counters = %+v, want 5 interpolated", g)
+	}
+	if st := s.CacheStats(); st.Lookups() != 0 {
+		t.Errorf("interpolated answers moved surface cache counters: %+v", st)
+	}
+	if d := GlobalCacheStats().Sub(cacheBefore); d.Hits != 0 || d.Misses != 0 {
+		t.Errorf("interpolated answers moved global cache counters: %+v", d)
+	}
+	// The QWP path stays exact even in LUT mode: a full Jones query moves
+	// the exact counters by exactly the one QWP evaluation.
+	s.SetBias(8, 8)
+	s.JonesTransmissive(d.CenterHz)
+	if st := s.CacheStats(); st.Lookups() != 1 {
+		t.Errorf("QWP under LUT mode: %d exact lookups, want exactly 1", st.Lookups())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync/atomic"
 
 	"github.com/llama-surface/llama/internal/jones"
 	"github.com/llama-surface/llama/internal/mat2"
@@ -23,10 +24,17 @@ type Surface struct {
 	// biasX, biasY are the current reverse-bias voltages in volts.
 	biasX, biasY float64
 
-	// cache memoizes the pure per-axis and QWP evaluations keyed on the
-	// exact operating point; see cache.go. Results are bit-identical with
-	// the cache disabled (SetCaching).
-	cache *responseCache
+	// table is the design's shared response table, resolved once from
+	// the fingerprint-keyed registry (table.go): every Surface of the
+	// same design shares one table, so entries computed by one are hits
+	// for all. Results are bit-identical with caching disabled
+	// (SetCaching).
+	table *responseTable
+
+	// hits, misses count this surface's own lookups against the shared
+	// table, so per-surface attribution survives sharing: the sum over
+	// all surfaces of a design equals the design table's counters.
+	hits, misses atomic.Uint64
 }
 
 // New builds a Surface from a validated design.
@@ -38,7 +46,7 @@ func New(d Design) (*Surface, error) {
 		design: d,
 		biasX:  d.MinBiasV,
 		biasY:  d.MinBiasV,
-		cache:  newResponseCache(),
+		table:  tableFor(DesignFingerprint(d)),
 	}, nil
 }
 
@@ -71,13 +79,23 @@ func (s *Surface) String() string {
 		s.design.Name, s.design.Units(), s.biasX, s.biasY)
 }
 
-// CacheStats returns this surface's response-cache counters. Counters
-// advance only while caching is enabled (SetCaching).
+// CacheStats returns the counters of this surface's own lookups against
+// its design's shared response table — hits include entries another
+// surface of the same design computed. Counters advance only while
+// caching is enabled (SetCaching); exact-path lookups only (approximate
+// LUT answers are counted by GlobalLUTStats instead).
 func (s *Surface) CacheStats() CacheStats {
-	if s.cache == nil {
+	return CacheStats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+}
+
+// TableStats returns the counters of the design-wide shared table this
+// surface resolves against: its own lookups plus every sibling
+// surface's. Zero for a zero-value Surface.
+func (s *Surface) TableStats() CacheStats {
+	if s.table == nil {
 		return CacheStats{}
 	}
-	return s.cache.stats()
+	return s.table.stats()
 }
 
 // axisResponse is the complete per-axis physics evaluation: the front-
@@ -131,20 +149,42 @@ func (d Design) qwpEval(f float64) qwpResponse {
 	}
 }
 
-// axisAt returns the per-axis response, through the cache when enabled.
+// axisAt returns the per-axis response: interpolated from the LUT grid
+// in approximate mode (in-range points only), otherwise through the
+// shared exact table when caching is enabled.
 func (s *Surface) axisAt(axis Axis, f, v float64) axisResponse {
-	if s.cache == nil || !CachingEnabled() {
+	if s.table != nil && LUTEnabled() {
+		if r, ok := s.table.lutAxisAt(s.design, axis, f, v); ok {
+			return r
+		}
+		// Out-of-grid operating point: fall through to the exact path.
+	}
+	if s.table == nil || !CachingEnabled() {
 		return s.design.axisEval(axis, f, v)
 	}
-	return s.cache.axisAt(s.design, axis, f, v)
+	r, hit := s.table.axisAt(s.design, axis, f, v)
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return r
 }
 
-// qwpAt returns the QWP response, through the cache when enabled.
+// qwpAt returns the QWP response, through the shared table when caching
+// is enabled. The QWP is bias-independent — one exact evaluation per
+// frequency — so approximate mode never applies here.
 func (s *Surface) qwpAt(f float64) qwpResponse {
-	if s.cache == nil || !CachingEnabled() {
+	if s.table == nil || !CachingEnabled() {
 		return s.design.qwpEval(f)
 	}
-	return s.cache.qwpAt(s.design, f)
+	r, hit := s.table.qwpAt(s.design, f)
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return r
 }
 
 // effectiveIndex returns the unloaded effective refractive index of the

@@ -1,0 +1,396 @@
+package metasurface
+
+// The per-design response-table registry. PR 3's cache lived and died
+// with its Surface, so fig15's seven per-distance surfaces of the same
+// design each recomputed the full circuit response. The memoized
+// evaluations depend only on the *design's physics* — never on which
+// Surface instance asked — so the tables here are keyed by a canonical
+// fingerprint of the design's physical parameters and shared across
+// every Surface of that design, across goroutines, and (through the
+// export/import forms below plus internal/store) across processes.
+// Sharing is transparent: a table entry holds the bit-exact output of
+// the same pure evaluation the uncached path runs, so shared, persisted
+// and per-surface caching all produce identical bytes (determinism
+// invariant #10 in ARCHITECTURE.md).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/llama-surface/llama/internal/mat2"
+	"github.com/llama-surface/llama/internal/twoport"
+)
+
+// responseTableVersion is folded into every design fingerprint so that
+// persisted tables computed by an older physics model can never alias a
+// newer one: bump it whenever axisEval/qwpEval (or anything they call)
+// changes numerically, and all stored tables become unreachable and are
+// recomputed.
+const responseTableVersion = 1
+
+// DesignFingerprint returns the canonical identity of a design's
+// response physics: a hex digest over every numeric field of the
+// design, its substrate, and its varactor model — exactly the inputs
+// axisEval and qwpEval can observe — plus the response-table version.
+// Name strings are deliberately excluded (labels do not change
+// physics); every numeric field is deliberately included, because an
+// omitted field that later influences an evaluation would alias two
+// different designs onto one table, while an extra field merely splits
+// tables. Two designs with equal fingerprints produce bit-identical
+// responses at every operating point.
+func DesignFingerprint(d Design) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.BigEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	f := func(x float64) { word(math.Float64bits(x)) }
+	i := func(x int) { word(uint64(int64(x))) }
+
+	fmt.Fprintf(h, "llama-response-table-v%d:", responseTableVersion)
+	// Substrate (materials.Dielectric), numeric fields in declaration order.
+	f(d.Substrate.EpsilonR)
+	f(d.Substrate.LossTangent)
+	f(d.Substrate.CostPerM2PerLayer)
+	// Diode (varactor.Model), numeric fields in declaration order.
+	f(d.Diode.C0)
+	f(d.Diode.Vj)
+	f(d.Diode.M)
+	f(d.Diode.Cp)
+	f(d.Diode.Rs)
+	f(d.Diode.Ls)
+	f(d.Diode.LeakageA)
+	f(d.Diode.MinBias)
+	f(d.Diode.MaxBias)
+	// Design, numeric fields in declaration order.
+	f(d.CenterHz)
+	f(d.PatternIndex)
+	f(d.QWPLayerThickness)
+	f(d.QWPPath)
+	f(d.QWPConcentration)
+	f(d.QWPMismatch)
+	f(d.QWPSelectivity)
+	i(d.BFSLayers)
+	f(d.BFSLayerThickness)
+	f(d.BFSPath)
+	f(d.BFSConcentration)
+	f(d.LoadPitch)
+	f(d.BFSSelectivity)
+	f(d.BFSResonanceBias)
+	f(d.BiasOffsetX)
+	f(d.UnitSize)
+	i(d.UnitsX)
+	i(d.UnitsY)
+	i(d.VaractorsPerUnit)
+	f(d.VaractorUnitCost)
+	f(d.MinBiasV)
+	f(d.MaxBiasV)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// The process-wide table registry: one shared response table per design
+// fingerprint. Surfaces resolve their table once at construction, so
+// the registry lock is never on a lookup hot path.
+var (
+	tablesMu sync.Mutex
+	tables   = make(map[string]*responseTable)
+)
+
+// tableFor returns the shared response table for fingerprint fp,
+// creating an empty one on first use.
+func tableFor(fp string) *responseTable {
+	tablesMu.Lock()
+	defer tablesMu.Unlock()
+	t, ok := tables[fp]
+	if !ok {
+		t = newResponseTable(fp)
+		tables[fp] = t
+	}
+	return t
+}
+
+// TableStats returns the shared response table's counters for design d:
+// hits and misses summed over every Surface of that design in this
+// process. Zero if no Surface of the design has been built yet.
+func TableStats(d Design) CacheStats {
+	tablesMu.Lock()
+	t := tables[DesignFingerprint(d)]
+	tablesMu.Unlock()
+	if t == nil {
+		return CacheStats{}
+	}
+	return t.stats()
+}
+
+// TableCount returns the number of design tables currently registered.
+func TableCount() int {
+	tablesMu.Lock()
+	defer tablesMu.Unlock()
+	return len(tables)
+}
+
+// ResetResponseTables empties the table registry (test isolation, and
+// A/B benchmarks that need a cold exact path). Surfaces built before
+// the reset keep their old table; build surfaces after resetting.
+func ResetResponseTables() {
+	tablesMu.Lock()
+	defer tablesMu.Unlock()
+	tables = make(map[string]*responseTable)
+}
+
+// Serialized entry arities. An axis row is
+//
+//	[axis, f, v, s11re, s11im, s12re, s12im, s21re, s21im, s22re, s22im, z0, gammaRe, gammaIm]
+//
+// and a QWP row is
+//
+//	[f, fastS×9, slowS×9, plusMat×8, minusMat×8]
+//
+// where an S-parameter block is the four complex entries as re/im pairs
+// followed by the reference impedance, and a Jones-matrix block is the
+// four complex entries as re/im pairs. Floats are formatted with
+// strconv.FormatFloat(v, 'g', -1, 64), the shortest string that parses
+// back to the identical bits (the store's lossless convention).
+const (
+	axisEntryCols = 14
+	qwpEntryCols  = 35
+)
+
+// TableExport is the store-friendly serialization of one design's
+// response table: pure string rows, so internal/store can persist it
+// without importing this package. Produced by ExportResponseTables,
+// consumed by ImportResponseTable.
+type TableExport struct {
+	// Fingerprint is the DesignFingerprint the entries belong to.
+	Fingerprint string
+	// Axis holds one row per memoized per-axis evaluation (axisEntryCols
+	// columns each), sorted canonically.
+	Axis [][]string
+	// QWP holds one row per memoized QWP evaluation (qwpEntryCols
+	// columns each), sorted canonically.
+	QWP [][]string
+}
+
+// Entries returns the total entry count of the export.
+func (t TableExport) Entries() int { return len(t.Axis) + len(t.QWP) }
+
+// fmtFloat renders one float losslessly.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// fmtComplex appends the lossless re/im pair of c to row.
+func fmtComplex(row []string, c complex128) []string {
+	return append(row, fmtFloat(real(c)), fmtFloat(imag(c)))
+}
+
+// fmtSParams appends an S-parameter block (9 columns) to row.
+func fmtSParams(row []string, s twoport.SParams) []string {
+	row = fmtComplex(row, s.S11)
+	row = fmtComplex(row, s.S12)
+	row = fmtComplex(row, s.S21)
+	row = fmtComplex(row, s.S22)
+	return append(row, fmtFloat(s.Z0))
+}
+
+// fmtMat appends a Jones-matrix block (8 columns) to row.
+func fmtMat(row []string, m mat2.Mat) []string {
+	row = fmtComplex(row, m.A)
+	row = fmtComplex(row, m.B)
+	row = fmtComplex(row, m.C)
+	return fmtComplex(row, m.D)
+}
+
+// ExportResponseTables snapshots every registered design table in a
+// canonical order: tables sorted by fingerprint, axis entries by
+// (axis, frequency bits, bias bits), QWP entries by frequency bits.
+// Two processes holding the same entries export identical bytes, which
+// keeps persisted table records diff-stable.
+func ExportResponseTables() []TableExport {
+	tablesMu.Lock()
+	list := make([]*responseTable, 0, len(tables))
+	for _, t := range tables {
+		list = append(list, t)
+	}
+	tablesMu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].fingerprint < list[j].fingerprint })
+
+	out := make([]TableExport, 0, len(list))
+	for _, t := range list {
+		out = append(out, t.export())
+	}
+	return out
+}
+
+// export snapshots one table in canonical order.
+func (t *responseTable) export() TableExport {
+	t.mu.RLock()
+	axisKeys := make([]axisKey, 0, len(t.axis))
+	for k := range t.axis {
+		axisKeys = append(axisKeys, k)
+	}
+	qwpKeys := make([]uint64, 0, len(t.qwp))
+	for k := range t.qwp {
+		qwpKeys = append(qwpKeys, k)
+	}
+	sort.Slice(axisKeys, func(i, j int) bool {
+		a, b := axisKeys[i], axisKeys[j]
+		if a.axis != b.axis {
+			return a.axis < b.axis
+		}
+		if a.f != b.f {
+			return a.f < b.f
+		}
+		return a.v < b.v
+	})
+	sort.Slice(qwpKeys, func(i, j int) bool { return qwpKeys[i] < qwpKeys[j] })
+
+	ex := TableExport{
+		Fingerprint: t.fingerprint,
+		Axis:        make([][]string, 0, len(axisKeys)),
+		QWP:         make([][]string, 0, len(qwpKeys)),
+	}
+	for _, k := range axisKeys {
+		r := t.axis[k]
+		row := make([]string, 0, axisEntryCols)
+		row = append(row, k.axis.String(),
+			fmtFloat(math.Float64frombits(k.f)), fmtFloat(math.Float64frombits(k.v)))
+		row = fmtSParams(row, r.s)
+		row = fmtComplex(row, r.shortGamma)
+		ex.Axis = append(ex.Axis, row)
+	}
+	for _, k := range qwpKeys {
+		r := t.qwp[k]
+		row := make([]string, 0, qwpEntryCols)
+		row = append(row, fmtFloat(math.Float64frombits(k)))
+		row = fmtSParams(row, r.fastS)
+		row = fmtSParams(row, r.slowS)
+		row = fmtMat(row, r.plus)
+		row = fmtMat(row, r.minus)
+		ex.QWP = append(ex.QWP, row)
+	}
+	t.mu.RUnlock()
+	return ex
+}
+
+// rowReader walks one serialized row, tracking the first parse error.
+type rowReader struct {
+	row []string
+	i   int
+	err error
+}
+
+// next parses the next float column.
+func (r *rowReader) next() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.i >= len(r.row) {
+		r.err = fmt.Errorf("metasurface: table row truncated at column %d", r.i)
+		return 0
+	}
+	v, err := strconv.ParseFloat(r.row[r.i], 64)
+	if err != nil {
+		r.err = fmt.Errorf("metasurface: table row column %d: %w", r.i, err)
+		return 0
+	}
+	r.i++
+	return v
+}
+
+// complexVal parses the next re/im pair.
+func (r *rowReader) complexVal() complex128 {
+	re := r.next()
+	im := r.next()
+	return complex(re, im)
+}
+
+// sparams parses the next S-parameter block.
+func (r *rowReader) sparams() twoport.SParams {
+	return twoport.SParams{
+		S11: r.complexVal(), S12: r.complexVal(),
+		S21: r.complexVal(), S22: r.complexVal(),
+		Z0: r.next(),
+	}
+}
+
+// mat parses the next Jones-matrix block.
+func (r *rowReader) mat() mat2.Mat {
+	return mat2.Mat{A: r.complexVal(), B: r.complexVal(), C: r.complexVal(), D: r.complexVal()}
+}
+
+// ImportResponseTable merges a previously exported table into the
+// registry (union: existing entries win, though by purity both sides
+// hold identical bits) and returns the number of entries in the export.
+// The whole export is validated before any entry is applied, so a
+// corrupt record never half-populates a table — callers treat an error
+// as "recompute from scratch". Imports do not advance any hit/miss
+// counters.
+func ImportResponseTable(ex TableExport) (int, error) {
+	if ex.Fingerprint == "" {
+		return 0, fmt.Errorf("metasurface: table import: empty fingerprint")
+	}
+	type axisEntry struct {
+		key axisKey
+		val axisResponse
+	}
+	type qwpEntry struct {
+		key uint64
+		val qwpResponse
+	}
+	axisEntries := make([]axisEntry, 0, len(ex.Axis))
+	for n, row := range ex.Axis {
+		if len(row) != axisEntryCols {
+			return 0, fmt.Errorf("metasurface: table import: axis row %d has %d columns, want %d", n, len(row), axisEntryCols)
+		}
+		var ax Axis
+		switch row[0] {
+		case AxisX.String():
+			ax = AxisX
+		case AxisY.String():
+			ax = AxisY
+		default:
+			return 0, fmt.Errorf("metasurface: table import: axis row %d: unknown axis %q", n, row[0])
+		}
+		r := rowReader{row: row, i: 1}
+		key := axisKey{axis: ax, f: math.Float64bits(r.next()), v: math.Float64bits(r.next())}
+		val := axisResponse{s: r.sparams(), shortGamma: r.complexVal()}
+		if r.err != nil {
+			return 0, fmt.Errorf("metasurface: table import: axis row %d: %w", n, r.err)
+		}
+		axisEntries = append(axisEntries, axisEntry{key: key, val: val})
+	}
+	qwpEntries := make([]qwpEntry, 0, len(ex.QWP))
+	for n, row := range ex.QWP {
+		if len(row) != qwpEntryCols {
+			return 0, fmt.Errorf("metasurface: table import: qwp row %d has %d columns, want %d", n, len(row), qwpEntryCols)
+		}
+		r := rowReader{row: row}
+		key := math.Float64bits(r.next())
+		val := qwpResponse{fastS: r.sparams(), slowS: r.sparams(), plus: r.mat(), minus: r.mat()}
+		if r.err != nil {
+			return 0, fmt.Errorf("metasurface: table import: qwp row %d: %w", n, r.err)
+		}
+		qwpEntries = append(qwpEntries, qwpEntry{key: key, val: val})
+	}
+
+	t := tableFor(ex.Fingerprint)
+	t.mu.Lock()
+	for _, e := range axisEntries {
+		if _, ok := t.axis[e.key]; !ok {
+			t.axis[e.key] = e.val
+		}
+	}
+	for _, e := range qwpEntries {
+		if _, ok := t.qwp[e.key]; !ok {
+			t.qwp[e.key] = e.val
+		}
+	}
+	t.mu.Unlock()
+	return len(axisEntries) + len(qwpEntries), nil
+}

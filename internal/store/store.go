@@ -72,6 +72,12 @@ type Meta struct {
 	CacheMisses uint64 `json:"cache_misses"`
 	// ElapsedNs is the compute time the cell cost when it was computed.
 	ElapsedNs int64 `json:"elapsed_ns"`
+	// LUT marks a cell computed in the approximate interpolated-lookup
+	// mode. Such cells are not bit-identical to exact computation, so
+	// resume runs never reuse them (they are recomputed instead) — the
+	// store must never silently launder approximate rows into an exact
+	// run.
+	LUT bool `json:"lut,omitempty"`
 }
 
 // Record is the self-describing persisted form of one (experiment,

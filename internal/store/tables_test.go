@@ -1,0 +1,195 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleTable builds a representative table record.
+func sampleTable(fp string) *TableRecord {
+	return &TableRecord{
+		Fingerprint: fp,
+		Axis: [][]string{
+			{"X", "2.45e9", "8", "0.1", "0", "0.9", "0", "0.9", "0", "0.1", "0", "377", "0.5", "0"},
+			{"Y", "2.45e9", "NaN", "+Inf", "-Inf", "0", "0", "0", "0", "0", "0", "377", "0", "0"},
+		},
+		QWP: [][]string{{"2.45e9", "1", "2"}},
+	}
+}
+
+// TestTableRecordRoundTrip: PutTable stamps schema, timestamp and path;
+// GetTable returns the identical rows (the store never interprets
+// them, so NaN/Inf strings must survive untouched).
+func TestTableRecordRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleTable("fp-abc123")
+	if err := s.PutTable(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != TableSchemaVersion || rec.Path == "" || rec.SavedUnixNs == 0 {
+		t.Errorf("PutTable left schema=%d path=%q saved=%d", rec.Schema, rec.Path, rec.SavedUnixNs)
+	}
+	got, err := s.GetTable("fp-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != "fp-abc123" || got.Entries() != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Axis[1][2] != "NaN" || got.Axis[1][3] != "+Inf" {
+		t.Errorf("non-finite cells mangled: %v", got.Axis[1])
+	}
+	// A pinned timestamp must survive re-puts (cross-process writers
+	// rely on pinned stamps for byte-identical records).
+	got.SavedUnixNs = 42
+	if err := s.PutTable(got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.GetTable("fp-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SavedUnixNs != 42 {
+		t.Errorf("pinned SavedUnixNs overwritten: %d", again.SavedUnixNs)
+	}
+}
+
+// TestTableNotFound: a never-persisted table is a typed not-found
+// distinct from corruption.
+func TestTableNotFound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.GetTable("never-written")
+	if !IsTableNotFound(err) {
+		t.Fatalf("err = %v, want TableNotFoundError", err)
+	}
+	var nf *TableNotFoundError
+	if !errors.As(err, &nf) || nf.Fingerprint != "never-written" || nf.Path == "" {
+		t.Errorf("not-found detail: %+v", nf)
+	}
+	if IsTableNotFound(errors.New("other")) {
+		t.Error("IsTableNotFound matched an unrelated error")
+	}
+}
+
+// TestTableRecordCorrupt: truncated, multi-line, schema-drifted,
+// fingerprint-less and mislabelled records all surface as CorruptError
+// naming the path — never as not-found, never as a zero record.
+func TestTableRecordCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTable(sampleTable("fp-x")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.TablePath("fp-x")
+	for name, data := range map[string]string{
+		"empty":          "",
+		"truncated":      `{"schema":1,"fingerprint":"fp-`,
+		"multi-line":     "{}\n{}\n",
+		"schema drift":   `{"schema":999,"fingerprint":"fp-x"}` + "\n",
+		"no fingerprint": `{"schema":1}` + "\n",
+		"mislabelled":    `{"schema":1,"fingerprint":"fp-other"}` + "\n",
+	} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.GetTable("fp-x")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: err = %v, want CorruptError", name, err)
+			continue
+		}
+		if !strings.Contains(ce.Error(), path) {
+			t.Errorf("%s: corrupt error does not name the file: %v", name, ce)
+		}
+		if IsTableNotFound(err) {
+			t.Errorf("%s: corruption misreported as not-found", name)
+		}
+	}
+}
+
+// TestListTables: listing returns readable records sorted by
+// fingerprint, skipping damaged and mislabelled files instead of
+// failing the warm start.
+func TestListTables(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store: no tables dir yet, no error.
+	if recs, err := s.ListTables(); err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: %v / %d records", err, len(recs))
+	}
+	for _, fp := range []string{"zz", "aa", "mm"} {
+		if err := s.PutTable(sampleTable(fp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corrupt record and a mislabelled one sit alongside the good ones.
+	if err := os.WriteFile(filepath.Join(s.tablesDir(), "broken.json"), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.tablesDir(), "liar.json"),
+		[]byte(`{"schema":1,"fingerprint":"someone-else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.ListTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3 (damaged files skipped)", len(recs))
+	}
+	for i, want := range []string{"aa", "mm", "zz"} {
+		if recs[i].Fingerprint != want {
+			t.Errorf("record %d = %s, want %s (sorted by fingerprint)", i, recs[i].Fingerprint, want)
+		}
+		if recs[i].Path == "" {
+			t.Errorf("record %d missing path", i)
+		}
+	}
+}
+
+// TestTablePathEscaping: hostile fingerprints cannot escape the tables
+// directory.
+func TestTablePathEscaping(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.TablePath("../../etc/passwd")
+	if filepath.Dir(p) != s.tablesDir() {
+		t.Fatalf("hostile fingerprint escaped the tables dir: %s", p)
+	}
+	if err := s.PutTable(&TableRecord{Fingerprint: "../../x", Axis: [][]string{{"X"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.GetTable("../../x"); err != nil || got.Entries() != 1 {
+		t.Fatalf("escaped round trip: %v", err)
+	}
+}
+
+// TestPutTableValidates: nil and fingerprint-less records are rejected
+// before touching disk.
+func TestPutTableValidates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTable(nil); err == nil {
+		t.Error("nil record accepted")
+	}
+	if err := s.PutTable(&TableRecord{}); err == nil {
+		t.Error("fingerprint-less record accepted")
+	}
+}

@@ -112,23 +112,49 @@ func BuildSurface(d Design) (*Surface, error) {
 	return metasurface.New(d)
 }
 
-// CacheStats reports response-cache hit/miss counters: per surface via
-// Surface.CacheStats, process-wide via GlobalCacheStats.
+// CacheStats reports response-table hit/miss counters in three views:
+// per surface via Surface.CacheStats, per design via Surface.TableStats,
+// process-wide via GlobalCacheStats. Response tables are keyed by a
+// fingerprint of the design's physical parameters and shared by every
+// surface of that design, so one surface's computation is every
+// sibling's hit.
 type CacheStats = metasurface.CacheStats
 
-// SetCaching switches the metasurface response cache on or off
-// process-wide (on by default). Outputs are bit-identical either way —
-// the cache memoizes pure physics evaluations — so disabling it is only
-// useful for A/B timing of the uncached kernels.
+// SetCaching switches the shared response tables on or off process-wide
+// (on by default). Outputs are bit-identical either way — the tables
+// memoize pure physics evaluations — so disabling them is only useful
+// for A/B timing of the uncached kernels.
 func SetCaching(on bool) { metasurface.SetCaching(on) }
 
-// CachingEnabled reports whether the response cache is on.
+// CachingEnabled reports whether the response tables are on.
 func CachingEnabled() bool { return metasurface.CachingEnabled() }
 
-// GlobalCacheStats returns the process-wide response-cache counters
+// GlobalCacheStats returns the process-wide response-table counters
 // aggregated across every surface (monotone; snapshot and subtract for
 // windowed measurements).
 func GlobalCacheStats() CacheStats { return metasurface.GlobalCacheStats() }
+
+// SetLUT switches the opt-in approximate response mode on or off
+// process-wide (off by default): per-axis responses come from each
+// design's precomputed dense (bias, freq) grid by bilinear interpolation
+// instead of exact evaluation. Outputs are NOT bit-identical to exact
+// mode — they stay within the tested error bound (|ΔS21| ≤ 0.05 on the
+// default 121×33 grid) — so use it only where approximate responses are
+// acceptable, e.g. wide design-space scans. Operating points outside
+// the grid fall back to the exact path. See cmd/llama-bench's -lut flag.
+func SetLUT(on bool) { metasurface.SetLUT(on) }
+
+// LUTEnabled reports whether the approximate LUT mode is on.
+func LUTEnabled() bool { return metasurface.LUTEnabled() }
+
+// LUTStats counts approximate-mode lookups — grid-interpolated answers
+// and out-of-grid exact fallbacks — kept strictly separate from the
+// exact-table CacheStats.
+type LUTStats = metasurface.LUTStats
+
+// GlobalLUTStats returns the process-wide approximate-mode counters
+// (monotone; snapshot and subtract for windowed measurements).
+func GlobalLUTStats() LUTStats { return metasurface.GlobalLUTStats() }
 
 // Absorber returns the paper's controlled environment (no multipath).
 func Absorber() Environment { return channel.Absorber() }
