@@ -1,0 +1,130 @@
+// Command llama-lint runs the internal/lint analyzer suite — the
+// static gate over the repository's determinism contracts — and exits
+// non-zero on any finding.
+//
+// Usage:
+//
+//	llama-lint [-json] [-list] [packages ...]
+//
+// Package arguments are directories relative to the current working
+// directory; a trailing "/..." lints the whole subtree, and the
+// default is "./...". Findings print one per line as
+//
+//	file:line: [check] message
+//
+// with paths relative to the module root, or as a JSON array with
+// -json. Exit status is 0 for a clean tree, 1 when there are findings,
+// and 2 for usage or load errors (a package that fails to parse or
+// type-check).
+//
+// A finding can be suppressed in place with a mandatory-reason
+// directive on the offending line or the line above:
+//
+//	//lint:allow <check> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/llama-surface/llama/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	list := flag.Bool("list", false, "list the registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: llama-lint [-json] [-list] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-10s %s\n", c.Name, c.Desc)
+		}
+		return
+	}
+
+	suite, err := load(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llama-lint:", err)
+		os.Exit(2)
+	}
+	findings := suite.Run()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "llama-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "llama-lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// load resolves the package patterns against the module containing the
+// working directory and loads them into one suite.
+func load(patterns []string) (*lint.Suite, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if dir, ok := strings.CutSuffix(pat, "/..."); ok {
+			if dir == "" || dir == "." {
+				dir = cwd
+			}
+			sub, err := lint.GoDirs(dirAbs(cwd, dir))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		add(dirAbs(cwd, pat))
+	}
+	return lint.LoadDirs(root, dirs, lint.DefaultConfig())
+}
+
+// dirAbs resolves a possibly relative pattern against the working
+// directory.
+func dirAbs(cwd, dir string) string {
+	if filepath.IsAbs(dir) {
+		return dir
+	}
+	return filepath.Join(cwd, dir)
+}

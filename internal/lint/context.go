@@ -1,0 +1,77 @@
+package lint
+
+// The context check: the repository's cancellation discipline, stated
+// in ARCHITECTURE.md, is that cancellation flows down from the caller
+// — every blocking API takes a context.Context as its first parameter
+// and library code never manufactures its own root context. Two rules
+// enforce that shape:
+//
+//   - a declared function with a context.Context parameter anywhere
+//     but first is a finding (the context came from somewhere; putting
+//     it first keeps call chains uniform and makes a dropped context
+//     visible in review);
+//   - a call to context.Background() or context.TODO() outside a main
+//     package is a finding (a library that roots its own context
+//     detaches itself from the caller's cancellation; main packages
+//     own the process lifetime and are exempt).
+//
+// Function literals are not checked for parameter order: their
+// signatures are dictated by the framework slots they fill.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Context is the context-discipline check.
+var Context = &Check{
+	Name: "context",
+	Desc: "context.Context parameters come first; library code never calls context.Background()/TODO()",
+	Run:  runContext,
+}
+
+// runContext applies both context rules to one package.
+func runContext(s *Suite, p *Package, report Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1 // unnamed parameter
+				}
+				if isContextType(p.Info.TypeOf(field.Type)) && idx > 0 {
+					report(field.Pos(), "context.Context is parameter %d of %s; blocking APIs take ctx first", idx, fd.Name.Name)
+				}
+				idx += n
+			}
+		}
+		if p.Name == "main" {
+			continue // the process root owns its own context
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFuncCall(p.Info, call); ok && path == "context" && (name == "Background" || name == "TODO") {
+				report(call.Pos(), "manufactures context.%s; library code must derive from a caller-supplied context", name)
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

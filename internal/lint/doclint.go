@@ -1,0 +1,117 @@
+package lint
+
+// The doclint check: the documentation gate formerly implemented by
+// the root doclint_test.go, migrated into the analyzer framework. The
+// public API (Config.DocRootPkgs, normally the root package) must
+// document every exported identifier, and every package matching
+// Config.DocPkgs (normally internal/...) must additionally carry a
+// package-level doc comment. Declarations are judged the way godoc
+// renders them: a doc comment on a grouped const/var/type declaration
+// covers its specs, a trailing comment counts, and methods on
+// unexported types are not API surface.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocLint is the exported-identifier documentation gate.
+var DocLint = &Check{
+	Name: "doclint",
+	Desc: "exported identifiers are documented; internal packages carry package doc comments",
+	Run:  runDocLint,
+}
+
+// runDocLint applies the documentation rules to packages in the
+// configured doc scopes.
+func runDocLint(s *Suite, p *Package, report Reporter) {
+	full := matchAny(p.Rel, s.Config.DocPkgs)
+	rootStyle := matchAny(p.Rel, s.Config.DocRootPkgs)
+	if !full && !rootStyle {
+		return
+	}
+	if full {
+		documented := false
+		for _, f := range p.Files {
+			if f.Doc != nil && strings.Contains(f.Doc.Text(), "Package "+p.Name) {
+				documented = true
+			}
+		}
+		if !documented {
+			report(p.Files[0].Name.Pos(), "package %s has no package doc comment", p.Name)
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue // method on an unexported type: not API surface
+				}
+				if d.Doc == nil {
+					report(d.Name.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(d, report)
+			}
+		}
+	}
+}
+
+// lintGenDecl checks an exported const/var/type declaration: the
+// group's doc covers all specs; otherwise each exported spec needs its
+// own doc or trailing comment.
+func lintGenDecl(d *ast.GenDecl, report Reporter) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "exported value %s has no doc comment", n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// declKind labels a FuncDecl for diagnostics.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

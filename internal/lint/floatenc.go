@@ -1,0 +1,133 @@
+package lint
+
+// The floatenc check: persistence paths (Config.PersistScopes — the
+// store, the fleet wire types, and the table/persist encoders) must
+// format floats only through the blessed lossless form
+// strconv.FormatFloat(v, 'g', -1, 64) (or AppendFloat with the same
+// configuration). Anything else — an fmt verb, a different precision,
+// a JSON number — either rounds (losing the bit-exactness resume and
+// fleet transparency depend on) or rejects NaN/±Inf outright.
+//
+// Three constructions are flagged inside a persistence scope:
+//
+//   - strconv.FormatFloat / strconv.AppendFloat with any argument
+//     configuration other than the literal 'g', -1, 64;
+//   - any fmt formatting call with a float- or complex-typed argument
+//     (fmt's default and verb formatting are both lossy);
+//   - encoding/json Marshal/Encode of a float-cored value (JSON
+//     numbers reject NaN/±Inf and round-trip through float parsing).
+//
+// Struct fields are not walked: the persisted record types carry
+// pre-encoded strings by design, and a new float field smuggled into
+// one belongs to a schema review, not a formatter.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// fmtFormatters are the fmt functions whose arguments get formatted.
+var fmtFormatters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// FloatEnc is the float-encoding check over persistence paths.
+var FloatEnc = &Check{
+	Name: "floatenc",
+	Desc: "persistence paths format floats only as strconv 'g'/-1/64 (lossless), never through fmt or JSON numbers",
+	Run:  runFloatEnc,
+}
+
+// runFloatEnc walks the files inside the configured persistence
+// scopes.
+func runFloatEnc(s *Suite, p *Package, report Reporter) {
+	pkgScoped := matchAny(p.Rel, s.Config.PersistScopes)
+	for _, f := range p.Files {
+		if !pkgScoped && !fileScoped(s, p, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkEncodingCall(p, call, report)
+			return true
+		})
+	}
+}
+
+// fileScoped reports whether one file is named in PersistScopes (an
+// entry ending in .go).
+func fileScoped(s *Suite, p *Package, f *ast.File) bool {
+	pos := s.Fset.Position(f.Pos())
+	rel := relToSlash(s.Root, pos.Filename)
+	for _, scope := range s.Config.PersistScopes {
+		if rel == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEncodingCall flags the lossy formatting constructions.
+func checkEncodingCall(p *Package, call *ast.CallExpr, report Reporter) {
+	if path, name, ok := pkgFuncCall(p.Info, call); ok {
+		switch {
+		case path == "strconv" && (name == "FormatFloat" || name == "AppendFloat"):
+			base := 1 // FormatFloat(v, fmt, prec, bitSize)
+			if name == "AppendFloat" {
+				base = 2 // AppendFloat(dst, v, fmt, prec, bitSize)
+			}
+			if len(call.Args) != base+3 || !isCharLit(call.Args[base], "'g'") ||
+				!isNegOneLit(call.Args[base+1]) || !isIntLit(call.Args[base+2], "64") {
+				report(call.Pos(), "strconv.%s with a non-canonical configuration; persistence paths must use ('g', -1, 64) so every float64 round-trips bit-exactly", name)
+			}
+			return
+		case path == "fmt" && fmtFormatters[name]:
+			for _, arg := range call.Args {
+				if hasFloatCore(p.Info.TypeOf(arg)) {
+					report(arg.Pos(), "formats a float through fmt.%s; persistence paths must encode floats with the blessed strconv 'g'/-1/64 helpers", name)
+				}
+			}
+			return
+		case path == "encoding/json" && (name == "Marshal" || name == "MarshalIndent"):
+			for _, arg := range call.Args {
+				if hasFloatCore(p.Info.TypeOf(arg)) {
+					report(arg.Pos(), "marshals a float as a JSON number (json.%s); JSON numbers reject NaN/±Inf — encode floats as strconv 'g'/-1/64 strings", name)
+				}
+			}
+			return
+		}
+	}
+	if pkgPath, recv, name, ok := methodCallPkg(p.Info, call); ok {
+		if pkgPath == "encoding/json" && recv == "Encoder" && name == "Encode" {
+			for _, arg := range call.Args {
+				if hasFloatCore(p.Info.TypeOf(arg)) {
+					report(arg.Pos(), "encodes a float as a JSON number (Encoder.Encode); JSON numbers reject NaN/±Inf — encode floats as strconv 'g'/-1/64 strings")
+				}
+			}
+		}
+	}
+}
+
+// isCharLit reports whether e is the given character literal.
+func isCharLit(e ast.Expr, want string) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.CHAR && lit.Value == want
+}
+
+// isIntLit reports whether e is the given integer literal.
+func isIntLit(e ast.Expr, want string) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == want
+}
+
+// isNegOneLit reports whether e is the literal -1.
+func isNegOneLit(e ast.Expr) bool {
+	u, ok := e.(*ast.UnaryExpr)
+	return ok && u.Op == token.SUB && isIntLit(u.X, "1")
+}

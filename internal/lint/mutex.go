@@ -1,0 +1,251 @@
+package lint
+
+// The mutexio check: while a sync.Mutex or sync.RWMutex is provably
+// held in a function body, the function must not block on a channel
+// (send, receive, select, range-over-channel) or perform direct I/O
+// (package-level calls into os, net or net/http, or method calls on
+// their types). A lock held across a blocking operation is the classic
+// shape of both deadlocks (the unblocking party needs the same lock)
+// and tail-latency collapse (every reader queues behind one fsync).
+//
+// The analysis is deliberately intraprocedural and linear, so every
+// finding is provable:
+//
+//   - x.Lock()/x.RLock() adds x to the held set, x.Unlock()/x.RUnlock()
+//     removes it, and `defer x.Unlock()` leaves it held to the end of
+//     the body (which is exactly the hazard the check looks for);
+//   - nested blocks (if/for/switch bodies) are analyzed with a copy of
+//     the held set and their lock-state changes are discarded at the
+//     outer level — an early-exit `if { x.Unlock(); return }` does not
+//     release the lock for the code after the if;
+//   - function literals are separate scopes starting unlocked, and
+//     `go`/`defer` bodies are skipped (they do not run here);
+//   - calls to helpers in the same package are not traced — a helper
+//     that does I/O under the caller's lock must carry its own
+//     finding via its own locks or a review.
+//
+// close(ch) is exempt: closing never blocks.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ioPkgs are the packages whose calls count as I/O under a lock.
+var ioPkgs = map[string]bool{
+	"os": true, "net": true, "net/http": true,
+}
+
+// purePkgFns are functions in ioPkgs that never touch the outside
+// world (error predicates, address parsing) and are safe under a lock.
+var purePkgFns = map[string]bool{
+	"os.IsNotExist": true, "os.IsExist": true, "os.IsPermission": true,
+	"os.IsTimeout": true, "os.Getenv": true, "os.LookupEnv": true,
+	"net.JoinHostPort": true, "net.SplitHostPort": true, "net.ParseIP": true,
+	"net.ParseMAC": true, "net.ParseCIDR": true, "net.IPv4": true,
+	"net/http.StatusText": true, "net/http.CanonicalHeaderKey": true,
+}
+
+// MutexIO is the lock-vs-blocking-operation check.
+var MutexIO = &Check{
+	Name: "mutexio",
+	Desc: "no channel operation or direct I/O while a sync.Mutex/RWMutex is provably held in the same function body",
+	Run:  runMutexIO,
+}
+
+// runMutexIO analyzes every function body in the package.
+func runMutexIO(s *Suite, p *Package, report Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeFuncBody(p, fd.Body, report)
+		}
+	}
+}
+
+// lockState is the set of held lock expressions (rendered with
+// types.ExprString) mapped to the position that acquired them.
+type lockState map[string]token.Pos
+
+// clone copies the state for a nested block.
+func (l lockState) clone() lockState {
+	c := make(lockState, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// heldName returns a deterministic representative held lock for
+// messages.
+func (l lockState) heldName() string {
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// analyzeFuncBody walks one function body linearly, tracking held
+// locks, and dispatches nested function literals as fresh scopes.
+func analyzeFuncBody(p *Package, body *ast.BlockStmt, report Reporter) {
+	analyzeBlock(p, body.List, lockState{}, report)
+	// Function literals anywhere in the body get their own unlocked
+	// analysis.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			analyzeBlock(p, lit.Body.List, lockState{}, report)
+		}
+		return true
+	})
+}
+
+// analyzeBlock processes statements in order against the held set.
+func analyzeBlock(p *Package, stmts []ast.Stmt, held lockState, report Reporter) {
+	for _, stmt := range stmts {
+		switch st := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if key, op, isLock := lockOp(p, call); isLock {
+					switch op {
+					case "Lock", "RLock":
+						held[key] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			flagHazards(p, st, held, report)
+		case *ast.DeferStmt:
+			// defer x.Unlock() keeps the lock held to the end of the
+			// body; any other defer's call runs at return, outside this
+			// linear order — skip it.
+			continue
+		case *ast.GoStmt:
+			continue // runs on another goroutine
+		case *ast.IfStmt:
+			flagHazards(p, st.Init, held, report)
+			flagHazards(p, st.Cond, held, report)
+			analyzeBlock(p, st.Body.List, held.clone(), report)
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				analyzeBlock(p, e.List, held.clone(), report)
+			case *ast.IfStmt:
+				analyzeBlock(p, []ast.Stmt{e}, held.clone(), report)
+			}
+		case *ast.ForStmt:
+			flagHazards(p, st.Init, held, report)
+			flagHazards(p, st.Cond, held, report)
+			flagHazards(p, st.Post, held, report)
+			analyzeBlock(p, st.Body.List, held.clone(), report)
+		case *ast.RangeStmt:
+			if len(held) > 0 && isChanType(p.Info, st.X) {
+				report(st.Pos(), "ranges over a channel while %s is held", held.heldName())
+			} else {
+				flagHazards(p, st.X, held, report)
+			}
+			analyzeBlock(p, st.Body.List, held.clone(), report)
+		case *ast.SwitchStmt:
+			flagHazards(p, st.Init, held, report)
+			flagHazards(p, st.Tag, held, report)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					analyzeBlock(p, cc.Body, held.clone(), report)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					analyzeBlock(p, cc.Body, held.clone(), report)
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				report(st.Pos(), "selects on channels while %s is held", held.heldName())
+				continue
+			}
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					analyzeBlock(p, cc.Body, held.clone(), report)
+				}
+			}
+		case *ast.BlockStmt:
+			// A naked block is straight-line code: same state.
+			analyzeBlock(p, st.List, held, report)
+		case *ast.LabeledStmt:
+			analyzeBlock(p, []ast.Stmt{st.Stmt}, held, report)
+		default:
+			flagHazards(p, stmt, held, report)
+		}
+	}
+}
+
+// flagHazards inspects one statement or expression (not descending
+// into function literals) for channel operations and I/O calls while
+// any lock is held.
+func flagHazards(p *Package, node ast.Node, held lockState, report Reporter) {
+	if node == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, analyzed unlocked
+		case *ast.SendStmt:
+			report(v.Pos(), "sends on a channel while %s is held", held.heldName())
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v.Pos(), "receives from a channel while %s is held", held.heldName())
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFuncCall(p.Info, v); ok && ioPkgs[path] && !purePkgFns[path+"."+name] {
+				report(v.Pos(), "calls %s.%s (I/O) while %s is held", pkgBase(path), name, held.heldName())
+			} else if path, recv, name, ok := methodCallPkg(p.Info, v); ok && ioPkgs[path] {
+				report(v.Pos(), "calls (%s.%s).%s (I/O) while %s is held", pkgBase(path), recv, name, held.heldName())
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex (or sync.Locker)
+// lock transition on a receiver expression, returning the receiver's
+// printed form as the tracking key.
+func lockOp(p *Package, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, isMethod := p.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	fn, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// pkgBase returns the last element of an import path for messages.
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,272 @@
+package lint
+
+// The purity check: pure-kernel packages (Config.PurePkgs) and the
+// Point/Finish bodies of Sweep declarations in Config.SweepPkgs must
+// be deterministic functions of their arguments. Four things break
+// that statically:
+//
+//   - reading the wall clock (time.Now and friends) — the blessed
+//     exception is the injected simclock (Config.ClockPkgs);
+//   - drawing from the global math/rand source (rand.Intn, …) instead
+//     of a seeded *rand.Rand;
+//   - reading the environment (os.Getenv, …);
+//   - iterating a map into ordered output — blessed only as the
+//     collect-keys-then-sort idiom (a range whose body is a single
+//     append of the key or value into a slice that the same function
+//     passes to sort.* / slices.Sort*).
+//
+// The analysis is intraprocedural: a sweep Point that calls an impure
+// helper in a non-pure package is not traced (the helper's own package
+// should be in PurePkgs when it matters).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockFns are the time functions that read the wall clock.
+var clockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// envFns are the os functions that read the process environment.
+var envFns = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// Purity is the purity check over pure-kernel packages and sweep
+// point-functions.
+var Purity = &Check{
+	Name: "purity",
+	Desc: "pure kernels must not read clocks, global rand, the environment, or iterate maps into ordered output",
+	Run:  runPurity,
+}
+
+// runPurity dispatches on scope: whole package for PurePkgs, sweep
+// Point/Finish bodies for SweepPkgs.
+func runPurity(s *Suite, p *Package, report Reporter) {
+	switch {
+	case matchAny(p.Rel, s.Config.PurePkgs):
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				walkPure(s, p, decl, enclosingBody(decl), report)
+			}
+		}
+	case matchAny(p.Rel, s.Config.SweepPkgs):
+		for _, body := range sweepBodies(s, p) {
+			walkPure(s, p, body, body, report)
+		}
+	}
+}
+
+// enclosingBody returns the function body a top-level declaration
+// provides as the sort-scope for blessed map ranges (nil for
+// non-function declarations).
+func enclosingBody(decl ast.Decl) ast.Node {
+	if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+		return fd.Body
+	}
+	return nil
+}
+
+// walkPure inspects node for impure constructs. sortScope is the
+// function body searched for the sorting half of the blessed map-range
+// idiom; function literals open their own scope.
+func walkPure(s *Suite, p *Package, node ast.Node, sortScope ast.Node, report Reporter) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if v.Body != node { // recurse with the literal's own sort-scope
+				walkPure(s, p, v.Body, v.Body, report)
+				return false
+			}
+		case *ast.CallExpr:
+			checkPureCall(s, p, v, report)
+		case *ast.RangeStmt:
+			if isMapType(p.Info, v.X) && !blessedMapRange(p, v, sortScope) {
+				report(v.Pos(), "iterates a map in a deterministic-output path; collect the keys into a slice and sort it")
+			}
+		}
+		return true
+	})
+}
+
+// checkPureCall flags calls into the clock, the global rand source,
+// and the environment.
+func checkPureCall(s *Suite, p *Package, call *ast.CallExpr, report Reporter) {
+	path, name, ok := pkgFuncCall(p.Info, call)
+	if !ok {
+		return
+	}
+	if matchAny(path, s.Config.ClockPkgs) || hasPathSuffix(path, s.Config.ClockPkgs) {
+		return // the blessed deterministic clock
+	}
+	switch {
+	case path == "time" && clockFns[name]:
+		report(call.Pos(), "calls time.%s; pure kernels must not read the wall clock (inject a simclock)", name)
+	case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+		report(call.Pos(), "draws from the global math/rand source (rand.%s); derive a seeded *rand.Rand from the experiment seed", name)
+	case path == "os" && envFns[name]:
+		report(call.Pos(), "reads the environment (os.%s); pure kernels take configuration as arguments", name)
+	}
+}
+
+// hasPathSuffix reports whether an import path ends in one of the
+// module-relative patterns (so "internal/simclock" blesses the full
+// module path).
+func hasPathSuffix(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if path == pat || len(path) > len(pat) && path[len(path)-len(pat)-1] == '/' && path[len(path)-len(pat):] == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// blessedMapRange reports whether a range over a map is the canonical
+// deterministic idiom: the body is exactly one append of the key or
+// value into a slice, and the enclosing function passes that slice to
+// a sort.* / slices.Sort* call.
+func blessedMapRange(p *Package, rng *ast.RangeStmt, sortScope ast.Node) bool {
+	if sortScope == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst := identObj(p.Info, assign.Lhs[0])
+	if dst == nil {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, isIdent := call.Fun.(*ast.Ident); !isIdent || fn.Name != "append" {
+		return false
+	}
+	if identObj(p.Info, call.Args[0]) != dst {
+		return false
+	}
+	item := identObj(p.Info, call.Args[1])
+	if item == nil || (item != identObj(p.Info, rng.Key) && item != identObj(p.Info, rng.Value)) {
+		return false
+	}
+	// The collected slice must reach a sort call somewhere in the same
+	// function body.
+	sorted := false
+	ast.Inspect(sortScope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := pkgFuncCall(p.Info, call)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if identObj(p.Info, arg) == dst {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// sweepBodies collects the function bodies declared as Point or Finish
+// of a Config.SweepType composite literal: literal functions in place,
+// plus same-package functions referenced by name.
+func sweepBodies(s *Suite, p *Package) []ast.Node {
+	typeName := s.Config.SweepType
+	if typeName == "" {
+		typeName = "Sweep"
+	}
+	// Index the package's function declarations by object so named
+	// Point/Finish references resolve to their bodies.
+	byObj := map[any]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					byObj[obj] = fd
+				}
+			}
+		}
+	}
+	var bodies []ast.Node
+	seen := map[ast.Node]bool{}
+	add := func(n ast.Node) {
+		if n != nil && !seen[n] {
+			seen[n] = true
+			bodies = append(bodies, n)
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isNamedType(p, cl, typeName) {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || (key.Name != "Point" && key.Name != "Finish") {
+					continue
+				}
+				switch v := kv.Value.(type) {
+				case *ast.FuncLit:
+					add(v.Body)
+				case *ast.Ident:
+					if fd := byObj[identObj(p.Info, v)]; fd != nil {
+						add(fd.Body)
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := p.Info.Selections[v]; ok {
+						if fd := byObj[sel.Obj()]; fd != nil {
+							add(fd.Body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// isNamedType reports whether the composite literal's type is the
+// named struct (or a pointer to it) declared in this package.
+func isNamedType(p *Package, cl *ast.CompositeLit, name string) bool {
+	t := p.Info.TypeOf(cl)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() == p.TypesPkg
+}

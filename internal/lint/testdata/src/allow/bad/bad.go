@@ -1,0 +1,18 @@
+// Package allowbad is a lint fixture: misused suppression directives
+// are findings themselves and suppress nothing.
+package allowbad
+
+import "time"
+
+// Boot suppresses without a reason: the directive is rejected and the
+// finding it meant to cover survives.
+func Boot() int64 {
+	//lint:allow purity
+	return time.Now().UnixNano()
+}
+
+// Later names a check that does not exist.
+func Later() int64 {
+	//lint:allow speed because the deadline is close
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,15 @@
+// Package allowclean is a lint fixture: a suppression directive with a
+// reason silences exactly its finding.
+package allowclean
+
+import "time"
+
+// Boot reads the wall clock once, deliberately, with the exception
+// documented on the line above.
+func Boot() int64 {
+	//lint:allow purity fixture: the startup stamp is display-only and never reaches a result table
+	return time.Now().UnixNano()
+}
+
+// Stamp documents its exception on the offending line itself.
+func Stamp() int64 { return time.Now().UnixNano() } //lint:allow purity fixture: same-line directive

@@ -1,0 +1,18 @@
+// Package ctxbad is a lint fixture: both context-discipline
+// violations.
+package ctxbad
+
+import "context"
+
+// Run takes its context last instead of first.
+func Run(n int, ctx context.Context) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Detach manufactures a root context in library code.
+func Detach() context.Context { return context.Background() }

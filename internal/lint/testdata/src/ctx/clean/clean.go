@@ -1,0 +1,15 @@
+// Package ctxclean is a lint fixture: the caller-supplied context
+// comes first and is never manufactured locally.
+package ctxclean
+
+import "context"
+
+// Run consults the caller's context between steps.
+func Run(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package doclintbad
+
+const Answer = 42
+
+type Widget struct{}
+
+func Greet() string { return "hi" }

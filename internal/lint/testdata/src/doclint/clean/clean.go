@@ -1,0 +1,15 @@
+// Package doclintclean is a lint fixture: every exported identifier is
+// documented the way godoc renders it.
+package doclintclean
+
+// Answer is the documented constant.
+const Answer = 42
+
+// Widget is the documented type.
+type Widget struct{}
+
+// Greet is the documented function.
+func Greet() string { return "hi" }
+
+// Name is the documented method.
+func (Widget) Name() string { return "widget" }

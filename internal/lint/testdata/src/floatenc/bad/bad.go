@@ -1,0 +1,18 @@
+// Package floatencbad is a lint fixture: each function loses float
+// bits a different way.
+package floatencbad
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Fixed rounds to three digits — NaN survives but precision does not.
+func Fixed(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Verb formats a float through fmt's default verb.
+func Verb(v float64) string { return fmt.Sprintf("%v", v) }
+
+// Number marshals floats as JSON numbers, which reject NaN and ±Inf.
+func Number(vs []float64) ([]byte, error) { return json.Marshal(vs) }

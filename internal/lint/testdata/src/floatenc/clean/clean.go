@@ -1,0 +1,17 @@
+// Package floatencclean is a lint fixture: the blessed lossless float
+// encodings a persistence path may use.
+package floatencclean
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Encode renders v in the canonical lossless form.
+func Encode(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Append appends the canonical form to a scratch buffer.
+func Append(dst []byte, v float64) []byte { return strconv.AppendFloat(dst, v, 'g', -1, 64) }
+
+// Label formats no floats, so fmt is fine.
+func Label(id string, seed int64) string { return fmt.Sprintf("%s/%d", id, seed) }

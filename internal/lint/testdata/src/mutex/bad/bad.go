@@ -1,0 +1,38 @@
+// Package mutexbad is a lint fixture: each method blocks with its
+// mutex held a different way.
+package mutexbad
+
+import (
+	"os"
+	"sync"
+)
+
+// Box serializes its writers behind one mutex.
+type Box struct {
+	mu  sync.Mutex
+	in  chan int
+	out chan int
+	n   int
+}
+
+// Send sends on a channel while mu is held (held to the end by the
+// defer).
+func (b *Box) Send() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.out <- b.n
+}
+
+// Recv receives from a channel between Lock and Unlock.
+func (b *Box) Recv() {
+	b.mu.Lock()
+	b.n = <-b.in
+	b.mu.Unlock()
+}
+
+// Save performs file I/O while mu is held.
+func (b *Box) Save(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.WriteFile(path, []byte{byte(b.n)}, 0o644)
+}

@@ -1,0 +1,32 @@
+// Package mutexclean is a lint fixture: state changes under the lock,
+// blocking happens outside it.
+package mutexclean
+
+import (
+	"os"
+	"sync"
+)
+
+// Queue hands sequence numbers to a consumer channel.
+type Queue struct {
+	mu   sync.Mutex
+	next int
+	out  chan int
+}
+
+// Push stamps under the lock and sends outside it.
+func (q *Queue) Push() {
+	q.mu.Lock()
+	v := q.next
+	q.next++
+	q.mu.Unlock()
+	q.out <- v
+}
+
+// Save snapshots under the lock and writes outside it.
+func (q *Queue) Save(path string) error {
+	q.mu.Lock()
+	v := q.next
+	q.mu.Unlock()
+	return os.WriteFile(path, []byte{byte(v)}, 0o644)
+}

@@ -1,0 +1,28 @@
+// Package puritybad is a lint fixture: each function breaks the purity
+// contract one way.
+package puritybad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the global math/rand source.
+func Draw() float64 { return rand.Float64() }
+
+// Home reads the environment.
+func Home() string { return os.Getenv("HOME") }
+
+// Join iterates a map straight into ordered output: collected but
+// never sorted.
+func Join(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

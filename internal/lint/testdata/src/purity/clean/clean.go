@@ -1,0 +1,34 @@
+// Package purityclean is a lint fixture: the deterministic idioms the
+// purity check must accept in a pure-kernel package.
+package purityclean
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/llama-surface/llama/internal/simclock"
+)
+
+// Sum draws from a seeded generator — deterministic in the seed.
+func Sum(seed int64, n int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += rng.Float64()
+	}
+	return total
+}
+
+// Keys iterates a map the blessed way: collect, then sort.
+func Keys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Jitter seeds a per-stream generator through the blessed simclock
+// helpers instead of the global source.
+func Jitter(seed int64) float64 { return simclock.RNG(seed, "fixture").Float64() }

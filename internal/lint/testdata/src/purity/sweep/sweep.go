@@ -1,0 +1,37 @@
+// Package sweepfix is a lint fixture: in a sweep package only the
+// Point and Finish bodies of Sweep literals must be pure — the
+// surrounding registration code may do what it likes.
+package sweepfix
+
+import "time"
+
+// Sweep mirrors the experiments.Sweep shape the purity check scopes
+// to.
+type Sweep struct {
+	// Points is the axis length.
+	Points int
+	// Point computes one point; it must be pure in (seed, i).
+	Point func(seed int64, i int) float64
+	// Finish post-processes the assembled rows.
+	Finish func() error
+}
+
+// Register may read the clock: it is registration plumbing, not a
+// point kernel, and the check must not flag it.
+func Register() int64 { return time.Now().UnixNano() }
+
+// Fixture declares one sweep with an impure literal Point and a named
+// impure Finish.
+var Fixture = Sweep{
+	Points: 1,
+	Point: func(seed int64, i int) float64 {
+		return float64(time.Now().UnixNano()) + float64(seed) + float64(i)
+	},
+	Finish: finishImpure,
+}
+
+// finishImpure reads the clock inside a Finish hook.
+func finishImpure() error {
+	_ = time.Now()
+	return nil
+}

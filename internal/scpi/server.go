@@ -127,15 +127,23 @@ func (s *Server) serveConn(conn net.Conn) {
 // Shutdown stops accepting, closes all connections and waits for handler
 // goroutines, honoring ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Snapshot under the lock, close outside it: once shutdown is set, a
+	// conn the accept loop races in is closed by the loop itself, so the
+	// snapshot misses nothing — and no socket teardown runs under s.mu.
 	s.mu.Lock()
 	s.shutdown = true
-	if s.ln != nil {
-		s.ln.Close()
-	}
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

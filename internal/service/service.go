@@ -426,6 +426,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Submissions live on the server's lifetime, not the request's: the
 	// response returns immediately while the run executes, so the run
 	// must not die with the POST context.
+	//lint:allow context runs outlive their POST request by design; Shutdown cancels them through the scheduler, not a request context
 	handle, err := s.sched.Submit(context.Background(), spec)
 	if err != nil {
 		release()

@@ -14,7 +14,6 @@ type Reporter struct {
 	conn *net.UDPConn
 	mu   sync.Mutex
 	seq  uint32
-	buf  [FrameLen]byte
 }
 
 // NewReporter dials the collector address ("127.0.0.1:port").
@@ -30,19 +29,26 @@ func NewReporter(addr string) (*Reporter, error) {
 	return &Reporter{conn: conn}, nil
 }
 
-// Report sends one measurement, stamping the next sequence number.
+// Report sends one measurement, stamping the next sequence number. The
+// lock covers only the sequence stamp and serialization into a local
+// frame — the socket write happens outside it, so one slow send never
+// queues other reporters behind the kernel. A failed send therefore
+// burns its sequence number; the collector counts the gap as a lost
+// report, which is what a failed send is.
 func (r *Reporter) Report(timestamp time.Duration, rssiDBm float64, flags uint16) error {
+	var buf [FrameLen]byte
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	rep := Report{Seq: r.seq, Timestamp: timestamp, RSSIdBm: rssiDBm, Flags: flags}
-	n, err := rep.SerializeTo(r.buf[:])
+	n, err := rep.SerializeTo(buf[:])
 	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
-	if _, err := r.conn.Write(r.buf[:n]); err != nil {
+	r.seq++
+	r.mu.Unlock()
+	if _, err := r.conn.Write(buf[:n]); err != nil {
 		return fmt.Errorf("telemetry: send: %w", err)
 	}
-	r.seq++
 	return nil
 }
 

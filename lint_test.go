@@ -1,0 +1,54 @@
+package llama
+
+// The static-contract gates CI runs at the repo root. The analysis
+// itself lives in internal/lint (shared with cmd/llama-lint); these
+// tests load the tree once and fail on any finding, so `go test ./...`
+// and `go run ./cmd/llama-lint ./...` enforce the same contracts.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/lint"
+)
+
+// loadSuite parses and type-checks the whole module once, shared by
+// every lint test in this file.
+var loadSuite = sync.OnceValues(func() (*lint.Suite, error) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := lint.GoDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return lint.LoadDirs(root, dirs, lint.DefaultConfig())
+})
+
+// TestLint runs every registered check over the module and fails on
+// any finding. A `//lint:allow <check> <reason>` directive on (or
+// directly above) the offending line documents a deliberate exception.
+func TestLint(t *testing.T) {
+	s, err := loadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Run() {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDocLint is the documentation gate CI's docs job runs: the public
+// API (this root package) must document every exported identifier, and
+// every internal package must carry a package-level doc comment. It is
+// the doclint check from internal/lint run in isolation.
+func TestDocLint(t *testing.T) {
+	s, err := loadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Run(lint.DocLint) {
+		t.Errorf("%s", f)
+	}
+}
