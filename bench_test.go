@@ -302,6 +302,37 @@ func BenchmarkBiasPlaneScanUncached(b *testing.B) {
 	benchBiasPlaneScan(b)
 }
 
+// BenchmarkBiasPlaneScanParallel scans the warm 21×21 bias plane from
+// many goroutines at once (run with -cpu 1,8), every goroutine owning
+// its own Surface of the shared design — the contention shape of the
+// sharded engine and the fleet workers. One op is one full plane scan
+// resolved through the batch API against the design's shared table;
+// after the untimed prewarm every lookup is a published-snapshot hit,
+// so scaling between the -cpu runs measures read-path contention and
+// nothing else.
+func BenchmarkBiasPlaneScanParallel(b *testing.B) {
+	pts := make([]BatchPoint, 0, scanSteps*scanSteps)
+	for x := 0; x < scanSteps; x++ {
+		for y := 0; y < scanSteps; y++ {
+			pts = append(pts, BatchPoint{F: DefaultCarrierHz, VX: float64(x) * 1.4, VY: float64(y) * 1.4})
+		}
+	}
+	// Prewarm (and publish) the whole working set untimed.
+	NewSurface(OptimizedFR4(DefaultCarrierHz)).Warm(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		surf := NewSurface(OptimizedFR4(DefaultCarrierHz))
+		var dst []Mat2
+		for pb.Next() {
+			dst = surf.JonesBatch(Transmissive, pts, dst)
+			if dst[0].MaxAbs() == 0 {
+				b.Fatal("degenerate scan")
+			}
+		}
+	})
+}
+
 func BenchmarkClosedLoopSweep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -166,6 +166,23 @@ func CoarseToFine(ctx context.Context, cfg SweepConfig, act Actuator, sen Sensor
 	return res, nil
 }
 
+// ScanVoltages returns the per-axis voltage grid a FullScan with this
+// config and step visits: VMin + i·stepV for every i whose voltage fits
+// the range. Indexing (rather than accumulating vx += stepV) keeps every
+// scan of the same range on bit-identical voltages — accumulated
+// rounding error on non-representable steps (0.1, …) can drop or
+// duplicate the last grid column. The epsilon admits a last column that
+// lands within float noise of VMax. Exported so sweep runners can warm
+// response caches for the exact voltages a scan will visit.
+func ScanVoltages(cfg SweepConfig, stepV float64) []float64 {
+	steps := int(math.Floor((cfg.VMax-cfg.VMin)/stepV + 1e-9))
+	out := make([]float64, steps+1)
+	for i := range out {
+		out[i] = cfg.VMin + float64(i)*stepV
+	}
+	return out
+}
+
 // FullScan measures every combination on a uniform grid with the given
 // voltage step — the ~30 s exhaustive baseline the paper's Algorithm 1
 // replaces (§3.3). It returns the complete grid for heatmap rendering
@@ -178,16 +195,9 @@ func FullScan(ctx context.Context, cfg SweepConfig, stepV float64, act Actuator,
 		return Result{}, errors.New("control: non-positive scan step")
 	}
 	res := Result{BestPowerDBm: math.Inf(-1)}
-	// Index the grid as VMin + i·stepV rather than accumulating vx += stepV:
-	// accumulated rounding error on non-representable steps (0.1, …) can
-	// drop or duplicate the last grid column, and the indexed form keeps
-	// every scan of the same range on bit-identical voltages. The epsilon
-	// admits a last column that lands within float noise of VMax.
-	steps := int(math.Floor((cfg.VMax-cfg.VMin)/stepV + 1e-9))
-	for i := 0; i <= steps; i++ {
-		vx := cfg.VMin + float64(i)*stepV
-		for j := 0; j <= steps; j++ {
-			vy := cfg.VMin + float64(j)*stepV
+	voltages := ScanVoltages(cfg, stepV)
+	for _, vx := range voltages {
+		for _, vy := range voltages {
 			if err := ctx.Err(); err != nil {
 				return res, fmt.Errorf("control: scan aborted: %w", err)
 			}

@@ -354,12 +354,21 @@ func Execute(ctx context.Context, opts Options) (*Report, error) {
 	var loadWarns []string
 	if e.Store != nil {
 		_, _, loadWarns = LoadResponseTables(e.Store)
+		if metasurface.LUTEnabled() {
+			// Approximate mode also warm-starts its dense grids, so the
+			// run interpolates from imported samples instead of paying a
+			// per-design grid build.
+			_, _, gridWarns := LoadLUTGrids(e.Store)
+			loadWarns = append(loadWarns, gridWarns...)
+		}
 	}
 	rep, err := e.run(ctx, seeds)
 	if rep != nil {
 		var saveWarns []string
 		if e.Store != nil {
 			_, _, saveWarns = SaveResponseTables(e.Store)
+			_, _, gridWarns := SaveLUTGrids(e.Store)
+			saveWarns = append(saveWarns, gridWarns...)
 		}
 		rep.StoreWarnings = append(append(loadWarns, rep.StoreWarnings...), saveWarns...)
 	}

@@ -39,11 +39,16 @@ func s21Sweep(id, description, title string, design metasurface.Design) *Sweep {
 			if err != nil {
 				return PointResult{}, err
 			}
-			surf.SetBias(8, 8)
 			f := freqs[i]
+			// One batched evaluation serves both polarizations: the Jones
+			// matrix at (f, 8 V, 8 V) is computed once and projected onto
+			// each axis (bit-identical to two EfficiencyDB calls,
+			// invariant #11).
+			m := surf.JonesBatch(metasurface.Transmissive,
+				[]metasurface.BatchPoint{{F: f, VX: 8, VY: 8}}, nil)[0]
 			return Row(f/1e9,
-				surf.EfficiencyDB(metasurface.AxisX, f),
-				surf.EfficiencyDB(metasurface.AxisY, f)), nil
+				units.LinearToDB(metasurface.JonesEfficiency(m, metasurface.AxisX)),
+				units.LinearToDB(metasurface.JonesEfficiency(m, metasurface.AxisY))), nil
 		},
 		Finish: func(res *Result, seed int64) error {
 			surf, err := metasurface.New(design)
@@ -81,10 +86,17 @@ func fig11Sweep() *Sweep {
 				return PointResult{}, err
 			}
 			f := freqs[i]
+			// The whole Vy axis of this frequency resolves in one batched
+			// pass — one snapshot load and one grouped miss computation
+			// instead of seven scalar round-trips (bit-identical to the
+			// SetBias+EfficiencyDB loop, invariant #11).
+			pts := make([]metasurface.BatchPoint, len(biases))
+			for j, vy := range biases {
+				pts[j] = metasurface.BatchPoint{F: f, VX: 8, VY: vy}
+			}
 			row := []float64{f / 1e9}
-			for _, vy := range biases {
-				surf.SetBias(8, vy)
-				row = append(row, surf.EfficiencyDB(metasurface.AxisY, f))
+			for _, m := range surf.JonesBatch(metasurface.Transmissive, pts, nil) {
+				row = append(row, units.LinearToDB(metasurface.JonesEfficiency(m, metasurface.AxisY)))
 			}
 			return Row(row...), nil
 		},

@@ -1,0 +1,89 @@
+package experiments
+
+// Engine-level contracts of LUT grid persistence: the load/save glue
+// must round-trip a built grid through the store, a warm-started process
+// must reach interpolated answers with ZERO grid builds (the acceptance
+// observable for the ROADMAP "grid persistence" item), and a corrupt
+// record must warn and fall back to rebuild-on-demand without blocking
+// its siblings.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/metasurface"
+	"github.com/llama-surface/llama/internal/store"
+	"github.com/llama-surface/llama/internal/units"
+)
+
+func TestLoadSaveLUTGridsGlue(t *testing.T) {
+	if ng, ns, w := LoadLUTGrids(nil); ng != 0 || ns != 0 || w != nil {
+		t.Errorf("nil-store load: %d/%d/%v", ng, ns, w)
+	}
+	if ng, ns, w := SaveLUTGrids(nil); ng != 0 || ns != 0 || w != nil {
+		t.Errorf("nil-store save: %d/%d/%v", ng, ns, w)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metasurface.OptimizedFR4Design(units.DefaultCarrierHz)
+	f := units.DefaultCarrierHz
+
+	// "First process": LUT mode builds the grid on first lookup; saving
+	// persists it.
+	metasurface.ResetResponseTables()
+	metasurface.ResetGlobalLUTStats()
+	metasurface.SetLUTConfig(metasurface.LUTConfig{})
+	metasurface.SetLUT(true)
+	defer func() {
+		metasurface.SetLUT(false)
+		metasurface.ResetGlobalLUTStats()
+		metasurface.ResetResponseTables()
+	}()
+	s := metasurface.MustNew(d)
+	s.SetBias(8, 8)
+	want := s.JonesTransmissive(f)
+	if b := metasurface.GlobalLUTGridBuilds(); b != 1 {
+		t.Fatalf("building process: %d grid builds, want 1", b)
+	}
+	ng, ns, warns := SaveLUTGrids(st)
+	if ng != 1 || ns == 0 || len(warns) != 0 {
+		t.Fatalf("save: %d grids / %d samples / %v, want 1 grid, samples, no warnings", ng, ns, warns)
+	}
+
+	// "Second process": fresh registry, warm-start from the store, same
+	// lookup — same bits, zero builds.
+	metasurface.ResetResponseTables()
+	metasurface.ResetGlobalLUTStats()
+	if ng, ns2, w := LoadLUTGrids(st); ng != 1 || ns2 != ns || len(w) != 0 {
+		t.Fatalf("load: %d grids / %d samples / %v, want 1/%d/none", ng, ns2, w, ns)
+	}
+	warm := metasurface.MustNew(d)
+	warm.SetBias(8, 8)
+	got := warm.JonesTransmissive(f)
+	if got != want {
+		t.Fatal("warm-started LUT answer differs from the building process")
+	}
+	if b := metasurface.GlobalLUTGridBuilds(); b != 0 {
+		t.Fatalf("warm-started process built %d grids, want 0", b)
+	}
+	if g := metasurface.GlobalLUTStats(); g.Interpolated == 0 {
+		t.Fatal("warm-started lookup did not interpolate")
+	}
+
+	// A record the store lists but metasurface rejects must warn, name
+	// the fingerprint, and not block the good grid.
+	if err := st.PutGrid(&store.GridRecord{Fingerprint: "bogus-fp", Meta: []string{"2"}}); err != nil {
+		t.Fatal(err)
+	}
+	metasurface.ResetResponseTables()
+	ng, _, warns = LoadLUTGrids(st)
+	if ng != 1 {
+		t.Errorf("load with corrupt sibling: %d grids, want the good 1", ng)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "bogus-fp") || !strings.Contains(warns[0], "rebuilding on demand") {
+		t.Errorf("corrupt record warning = %v, want one naming bogus-fp and 'rebuilding on demand'", warns)
+	}
+}

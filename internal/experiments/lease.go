@@ -74,6 +74,9 @@ func ComputeJob(ctx context.Context, d JobDesc) (ExternalResult, error) {
 			return ExternalResult{}, fmt.Errorf("experiments: %s: batch [%d+%d] outside axis of %d points", d.ID, d.Point, d.Count, sw.Points)
 		}
 		pts := make([]PointResult, d.Count)
+		if sw.Warm != nil {
+			sw.Warm(ctx, d.Seed, d.Point, d.Count)
+		}
 		for i := 0; i < d.Count; i++ {
 			pt, err := sw.Point(ctx, d.Seed, d.Point+i)
 			if err != nil {

@@ -630,6 +630,12 @@ func (sub *submission) execute(jb schedJob) {
 			ls = metasurface.GlobalLUTStats()
 		}
 		started[i] = time.Now()
+		if p == jb.point && c.sweep.Warm != nil {
+			// Warm the whole batch inside the first point's stat-sampling
+			// window, so warming's cache traffic stays attributed to this
+			// batch (per-point counters still sum to the run totals).
+			c.sweep.Warm(sub.ctx, c.seed, jb.point, jb.count)
+		}
 		pt, err := c.sweep.Point(sub.ctx, c.seed, p)
 		elapsed[i] = time.Since(started[i])
 		if sub.trackCache {

@@ -13,6 +13,20 @@ package metasurface
 // evaluation the uncached path runs, and a hit returns the stored result
 // of that same evaluation, so cached and uncached outputs are
 // bit-identical (determinism invariants #5 and #10 in ARCHITECTURE.md).
+//
+// Concurrency model (the contention-free read path). The memoized
+// entries live in immutable map snapshots published through an
+// atomic.Pointer: a hit is one atomic load plus one map read — no lock,
+// no allocation, no shared cache line written beyond a sharded counter.
+// Writers batch fresh entries in a pending map under a plain mutex and
+// publish copy-on-write: a published map is never written again, so a
+// reader holding the old snapshot sees a consistent (merely stale) view
+// and the race detector can prove the absence of torn reads. Concurrent
+// misses on the same key are grouped singleflight-style: exactly one
+// goroutine evaluates, the rest wait on its completion channel, so
+// redundant evaluation is bounded at one per distinct key. Counters are
+// sharded across cache-line-padded slots (statShard) so hit accounting
+// never bounces one hot line between cores.
 
 import (
 	"math"
@@ -22,7 +36,11 @@ import (
 
 // CacheStats reports the lookup counters of a response cache: Hits is the
 // number of evaluations answered from memory, Misses the number computed
-// (and stored). Counters are monotone over the cache's lifetime.
+// (and stored). Counters are monotone over the cache's lifetime. With
+// concurrent misses grouped singleflight-style, a miss means "this
+// lookup ran the evaluation" — waiters answered by another goroutine's
+// in-flight evaluation count as hits, so Misses equals the number of
+// distinct evaluations performed.
 type CacheStats struct {
 	Hits, Misses uint64
 }
@@ -49,14 +67,6 @@ func (c CacheStats) Sub(earlier CacheStats) CacheStats {
 // init.
 var cachingOff atomic.Bool
 
-// Global lookup counters aggregated across every design table in the
-// process, so harnesses (llama-bench, the experiment engine) can report
-// cache effectiveness without plumbing individual surfaces out of
-// runners. Each lookup is counted exactly once here, once on its design
-// table, and once on the Surface that asked — three views of the same
-// event, never double-counted within a view.
-var globalHits, globalMisses atomic.Uint64
-
 // SetCaching switches response caching on or off process-wide (the
 // llama-bench -cache flag, for A/B physics timing). The switch is
 // consulted per evaluation, so it can be flipped between runs; outputs
@@ -66,19 +76,82 @@ func SetCaching(on bool) { cachingOff.Store(!on) }
 // CachingEnabled reports whether response caching is on.
 func CachingEnabled() bool { return !cachingOff.Load() }
 
+// statShards is the number of padded counter slots per sharded counter
+// pair. Surfaces are dealt slots round-robin at construction, so up to
+// statShards concurrently hot surfaces account their lookups without
+// ever contending on one cache line.
+const statShards = 16
+
+// statShard is one slot of a sharded counter pair, padded out to a full
+// cache line so neighbouring slots never share one: concurrent Add
+// traffic on adjacent slots would otherwise bounce the line between
+// cores, which is exactly the cost sharding exists to remove.
+type statShard struct {
+	hits, misses atomic.Uint64
+	_            [48]byte
+}
+
+// shardedStats is a pair of monotone counters spread over padded shards.
+// Adds touch one shard; loads sum all of them, so the three stat views
+// (per-surface, per-table, global) stay exact while the hot path never
+// serializes on a single counter word.
+type shardedStats struct {
+	shards [statShards]statShard
+}
+
+// add folds a lookup outcome into one shard.
+func (s *shardedStats) add(shard uint32, hits, misses uint64) {
+	sh := &s.shards[shard%statShards]
+	if hits != 0 {
+		sh.hits.Add(hits)
+	}
+	if misses != 0 {
+		sh.misses.Add(misses)
+	}
+}
+
+// load sums every shard into one CacheStats view.
+func (s *shardedStats) load() CacheStats {
+	var out CacheStats
+	for i := range s.shards {
+		out.Hits += s.shards[i].hits.Load()
+		out.Misses += s.shards[i].misses.Load()
+	}
+	return out
+}
+
+// reset zeroes every shard (test isolation).
+func (s *shardedStats) reset() {
+	for i := range s.shards {
+		s.shards[i].hits.Store(0)
+		s.shards[i].misses.Store(0)
+	}
+}
+
+// globalStats aggregates lookups across every design table in the
+// process, so harnesses (llama-bench, the experiment engine) can report
+// cache effectiveness without plumbing individual surfaces out of
+// runners. Each lookup is counted exactly once here, once on its design
+// table, and once on the Surface that asked — three views of the same
+// event, never double-counted within a view.
+var globalStats shardedStats
+
+// shardSeq deals out counter-shard slots round-robin at Surface
+// construction, so concurrently built surfaces (one per worker in the
+// scheduler and benchmarks) land on distinct shards.
+var shardSeq atomic.Uint32
+
+// nextStatShard returns the next round-robin shard slot.
+func nextStatShard() uint32 { return shardSeq.Add(1) % statShards }
+
 // GlobalCacheStats returns the process-wide response-table counters,
 // summed over every design table. The counters are monotone; callers
 // wanting a windowed measurement snapshot before/after and use
 // CacheStats.Sub.
-func GlobalCacheStats() CacheStats {
-	return CacheStats{Hits: globalHits.Load(), Misses: globalMisses.Load()}
-}
+func GlobalCacheStats() CacheStats { return globalStats.load() }
 
 // ResetGlobalCacheStats zeroes the process-wide counters (test isolation).
-func ResetGlobalCacheStats() {
-	globalHits.Store(0)
-	globalMisses.Store(0)
-}
+func ResetGlobalCacheStats() { globalStats.reset() }
 
 // axisKey identifies one per-axis evaluation by the exact float bit
 // patterns of its operating point, so keys never alias across distinct
@@ -88,22 +161,316 @@ type axisKey struct {
 	f, v uint64
 }
 
+// flightCall tracks one in-flight evaluation: the computing goroutine
+// fills val and closes done; waiters block on done and read val. val is
+// written before done is closed, so the close is the publication edge.
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// snapMap is the contention-free memoization core: an immutable map
+// snapshot published through an atomic pointer, plus a mutex-guarded
+// pending map that batches fresh entries between copy-on-write
+// publishes and a singleflight registry for in-flight evaluations.
+//
+// Reads probe the snapshot first (lock-free, allocation-free); only a
+// snapshot miss takes the mutex, where the entry is found in pending,
+// joined in flight, or computed exactly once. Publishes merge
+// snapshot+pending into a fresh map: amortized O(1) per insert under
+// the size-proportional threshold in maybePublishLocked, with lockedHit
+// promoting hot pending entries early so a stable working set always
+// converges to the lock-free path.
+type snapMap[K comparable, V any] struct {
+	// snap is the published immutable snapshot. The pointed-to map is
+	// never mutated after Store — readers need no lock and the old
+	// snapshot stays valid for readers still holding it.
+	snap atomic.Pointer[map[K]V]
+
+	mu      sync.Mutex
+	pending map[K]V
+	flight  map[K]*flightCall[V]
+	// lockHits counts lookups since the last publish that had to take
+	// the mutex to find their answer; crossing the promotion threshold
+	// publishes early (see lockedHit).
+	lockHits int
+}
+
+// newSnapMap returns an empty snapMap ready for use.
+func newSnapMap[K comparable, V any]() *snapMap[K, V] {
+	m := &snapMap[K, V]{
+		pending: make(map[K]V),
+		flight:  make(map[K]*flightCall[V]),
+	}
+	empty := make(map[K]V)
+	m.snap.Store(&empty)
+	return m
+}
+
+// get answers from the published snapshot only: one atomic load and one
+// map read — no lock, no allocation. ok=false does not mean absent, only
+// not yet published; lookup handles the slow path.
+func (m *snapMap[K, V]) get(k K) (V, bool) {
+	v, ok := (*m.snap.Load())[k]
+	return v, ok
+}
+
+// size returns the number of distinct entries (published + pending).
+func (m *snapMap[K, V]) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(*m.snap.Load()) + len(m.pending)
+}
+
+// lookup returns the value for k, calling eval at most once
+// process-wide per key: concurrent callers missing the same key wait on
+// the first caller's in-flight evaluation. hit=false means exactly
+// "this call ran eval" — pending finds and flight waits report hits.
+func (m *snapMap[K, V]) lookup(k K, eval func() V) (V, bool) {
+	if v, ok := m.get(k); ok {
+		return v, true
+	}
+	m.mu.Lock()
+	if v, ok := (*m.snap.Load())[k]; ok { // republished since the fast probe
+		m.lockedHit()
+		m.mu.Unlock()
+		return v, true
+	}
+	if v, ok := m.pending[k]; ok {
+		m.lockedHit()
+		m.mu.Unlock()
+		return v, true
+	}
+	if c, ok := m.flight[k]; ok {
+		m.mu.Unlock()
+		<-c.done
+		return c.val, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	m.flight[k] = c
+	m.mu.Unlock()
+	c.val = eval()
+	m.mu.Lock()
+	m.pending[k] = c.val
+	delete(m.flight, k)
+	m.maybePublishLocked()
+	m.mu.Unlock()
+	close(c.done)
+	return c.val, false
+}
+
+// lookupBatch resolves every key against one snapshot load, then
+// handles all misses in one grouped pass under a single mutex
+// acquisition: still-missing keys are deduplicated, registered in
+// flight, and evaluated outside the lock; keys another goroutine is
+// already computing are joined, not recomputed. out must have len(keys)
+// slots. eval runs at most once per distinct missing key, and the
+// returned counters follow the scalar convention: misses counts
+// evaluations this call ran, everything else is a hit.
+func (m *snapMap[K, V]) lookupBatch(keys []K, out []V, eval func(K) V) (hits, misses uint64) {
+	snap := *m.snap.Load()
+	var missing []int
+	for i, k := range keys {
+		if v, ok := snap[k]; ok {
+			out[i] = v
+			hits++
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return hits, 0
+	}
+	var (
+		mine    []K         // distinct keys this call computes, in first-seen order
+		mineIdx map[K][]int // key → out positions awaiting it
+		waits   []*flightCall[V]
+		waitIdx []int
+	)
+	m.mu.Lock()
+	// No publish can happen while mu is held, so the re-loaded snapshot
+	// and pending are stable for the whole grouping pass.
+	snap = *m.snap.Load()
+	for _, i := range missing {
+		k := keys[i]
+		if v, ok := snap[k]; ok {
+			out[i] = v
+			hits++
+			continue
+		}
+		if v, ok := m.pending[k]; ok {
+			out[i] = v
+			hits++
+			continue
+		}
+		if c, ok := m.flight[k]; ok {
+			waits = append(waits, c)
+			waitIdx = append(waitIdx, i)
+			hits++
+			continue
+		}
+		if _, ok := mineIdx[k]; ok { // duplicate within this batch
+			mineIdx[k] = append(mineIdx[k], i)
+			hits++
+			continue
+		}
+		if mineIdx == nil {
+			mineIdx = make(map[K][]int)
+		}
+		c := &flightCall[V]{done: make(chan struct{})}
+		m.flight[k] = c
+		mine = append(mine, k)
+		mineIdx[k] = []int{i}
+		misses++
+	}
+	m.mu.Unlock()
+	if len(mine) > 0 {
+		vals := make([]V, len(mine))
+		for j, k := range mine {
+			vals[j] = eval(k)
+		}
+		closes := make([]*flightCall[V], len(mine))
+		m.mu.Lock()
+		for j, k := range mine {
+			c := m.flight[k]
+			c.val = vals[j]
+			closes[j] = c
+			delete(m.flight, k)
+			m.pending[k] = vals[j]
+		}
+		m.maybePublishLocked()
+		m.mu.Unlock()
+		for _, c := range closes {
+			close(c.done)
+		}
+		for j, k := range mine {
+			for _, i := range mineIdx[k] {
+				out[i] = vals[j]
+			}
+		}
+	}
+	for wi, c := range waits {
+		<-c.done
+		out[waitIdx[wi]] = c.val
+	}
+	return hits, misses
+}
+
+// lockedHit records a lookup that had to take the mutex to find its
+// answer (pending, or a snapshot republished since the fast probe).
+// Accumulating lock-path hits mean the pending entries are hot, so they
+// are promoted into a published snapshot ahead of the size threshold —
+// a stable working set therefore always ends up fully lock-free. The
+// threshold scales with the snapshot so promotion publishes stay
+// amortized against copy cost.
+func (m *snapMap[K, V]) lockedHit() {
+	m.lockHits++
+	if len(m.pending) > 0 && m.lockHits >= 32+len(*m.snap.Load())/16 {
+		m.publishLocked()
+	}
+}
+
+// maybePublishLocked publishes when pending has grown to a quarter of
+// the snapshot (or the snapshot is still empty): each publish then
+// copies at most ~5× the entries admitted since the last one, keeping
+// total copy work linear in the number of distinct keys — amortized
+// O(1) per miss — while fresh entries still reach the lock-free
+// snapshot quickly.
+func (m *snapMap[K, V]) maybePublishLocked() {
+	if n := len(m.pending); n > 0 && 4*n >= len(*m.snap.Load()) {
+		m.publishLocked()
+	}
+}
+
+// publishLocked merges snapshot+pending into a fresh map and publishes
+// it. The retired snapshot is never written again — readers still
+// holding it see a consistent, merely stale view — which is the entire
+// safety argument: every published map is immutable.
+func (m *snapMap[K, V]) publishLocked() {
+	old := *m.snap.Load()
+	merged := make(map[K]V, len(old)+len(m.pending))
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range old {
+		merged[k] = v
+	}
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range m.pending {
+		merged[k] = v
+	}
+	m.snap.Store(&merged)
+	m.pending = make(map[K]V)
+	m.lockHits = 0
+}
+
+// flush publishes any pending entries immediately, so subsequent reads
+// of the current contents are answered lock-free. Benchmarks use it to
+// measure the steady-state read path; correctness never needs it.
+func (m *snapMap[K, V]) flush() {
+	m.mu.Lock()
+	if len(m.pending) > 0 {
+		m.publishLocked()
+	}
+	m.mu.Unlock()
+}
+
+// merge folds imported entries into the map and publishes immediately
+// (imports are rare and bulk, so the amortizing threshold would only
+// delay warm starts). Existing entries win, though by purity both sides
+// hold identical bits. keys and vals are parallel slices.
+func (m *snapMap[K, V]) merge(keys []K, vals []V) {
+	m.mu.Lock()
+	old := *m.snap.Load()
+	merged := make(map[K]V, len(old)+len(m.pending)+len(keys))
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range old {
+		merged[k] = v
+	}
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range m.pending {
+		merged[k] = v
+	}
+	for i, k := range keys {
+		if _, ok := merged[k]; !ok {
+			merged[k] = vals[i]
+		}
+	}
+	m.snap.Store(&merged)
+	m.pending = make(map[K]V)
+	m.lockHits = 0
+	m.mu.Unlock()
+}
+
+// snapshot returns a private union of published and pending entries;
+// the caller owns the returned map (export path).
+func (m *snapMap[K, V]) snapshot() map[K]V {
+	m.mu.Lock()
+	old := *m.snap.Load()
+	out := make(map[K]V, len(old)+len(m.pending))
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range old {
+		out[k] = v
+	}
+	//lint:allow purity copying a map into a fresh map is order-independent
+	for k, v := range m.pending {
+		out[k] = v
+	}
+	m.mu.Unlock()
+	return out
+}
+
 // responseTable memoizes the per-axis and per-frequency QWP evaluations
-// of one design, shared by every Surface of that design. It is safe for
-// concurrent use: lookups take a read lock, stores a write lock, and the
-// counters are atomic. Two goroutines missing on the same key both
-// compute (the evaluation is pure, so they store the same bits) —
-// redundant work is bounded by the worker count and never affects
-// results. The lut pointer holds the design's precomputed interpolation
-// grid when approximate mode is active (lut.go).
+// of one design, shared by every Surface of that design. Both entry
+// kinds live in snapMaps, so lookups are lock-free snapshot reads and
+// concurrent misses on one key evaluate once (see the snapMap doc). The
+// lut pointer holds the design's precomputed interpolation grid when
+// approximate mode is active (lut.go).
 type responseTable struct {
 	fingerprint string
 
-	mu   sync.RWMutex
-	axis map[axisKey]axisResponse
-	qwp  map[uint64]qwpResponse
+	axis *snapMap[axisKey, axisResponse]
+	qwp  *snapMap[uint64, qwpResponse]
 
-	hits, misses atomic.Uint64
+	counters shardedStats
 
 	lut atomic.Pointer[lutGrid]
 }
@@ -112,56 +479,95 @@ type responseTable struct {
 func newResponseTable(fp string) *responseTable {
 	return &responseTable{
 		fingerprint: fp,
-		axis:        make(map[axisKey]axisResponse),
-		qwp:         make(map[uint64]qwpResponse),
+		axis:        newSnapMap[axisKey, axisResponse](),
+		qwp:         newSnapMap[uint64, qwpResponse](),
 	}
 }
 
-// stats snapshots the table's counters.
-func (t *responseTable) stats() CacheStats {
-	return CacheStats{Hits: t.hits.Load(), Misses: t.misses.Load()}
+// stats sums the table's sharded counters.
+func (t *responseTable) stats() CacheStats { return t.counters.load() }
+
+// count folds one lookup outcome into the table's and the global
+// sharded counters on the caller's shard slot.
+func (t *responseTable) count(shard uint32, hit bool) {
+	if hit {
+		t.counters.add(shard, 1, 0)
+		globalStats.add(shard, 1, 0)
+	} else {
+		t.counters.add(shard, 0, 1)
+		globalStats.add(shard, 0, 1)
+	}
 }
 
-// axisAt returns the memoized per-axis response, computing and storing it
-// on first use, and reports whether it was a hit. The hit path performs
-// no allocation.
-func (t *responseTable) axisAt(d Design, axis Axis, f, v float64) (axisResponse, bool) {
+// countBatch folds a batched lookup's outcome counters in one add per view.
+func (t *responseTable) countBatch(shard uint32, hits, misses uint64) {
+	t.counters.add(shard, hits, misses)
+	globalStats.add(shard, hits, misses)
+}
+
+// axisAt returns the memoized per-axis response, computing and storing
+// it on first use, and reports whether it was a hit. shard selects the
+// caller's counter slot. The hit path is one snapshot probe plus two
+// sharded counter adds — no lock, no allocation.
+func (t *responseTable) axisAt(d Design, axis Axis, f, v float64, shard uint32) (axisResponse, bool) {
 	key := axisKey{axis: axis, f: math.Float64bits(f), v: math.Float64bits(v)}
-	t.mu.RLock()
-	r, ok := t.axis[key]
-	t.mu.RUnlock()
-	if ok {
-		t.hits.Add(1)
-		globalHits.Add(1)
+	if r, ok := t.axis.get(key); ok {
+		t.count(shard, true)
 		return r, true
 	}
-	t.misses.Add(1)
-	globalMisses.Add(1)
-	r = d.axisEval(axis, f, v)
-	t.mu.Lock()
-	t.axis[key] = r
-	t.mu.Unlock()
-	return r, false
+	r, hit := t.axis.lookup(key, func() axisResponse { return d.axisEval(axis, f, v) })
+	t.count(shard, hit)
+	return r, hit
 }
 
 // qwpAt returns the memoized QWP response at frequency f, computing and
 // storing it on first use, and reports whether it was a hit. The hit
 // path performs no allocation.
-func (t *responseTable) qwpAt(d Design, f float64) (qwpResponse, bool) {
+func (t *responseTable) qwpAt(d Design, f float64, shard uint32) (qwpResponse, bool) {
 	key := math.Float64bits(f)
-	t.mu.RLock()
-	r, ok := t.qwp[key]
-	t.mu.RUnlock()
-	if ok {
-		t.hits.Add(1)
-		globalHits.Add(1)
+	if r, ok := t.qwp.get(key); ok {
+		t.count(shard, true)
 		return r, true
 	}
-	t.misses.Add(1)
-	globalMisses.Add(1)
-	r = d.qwpEval(f)
-	t.mu.Lock()
-	t.qwp[key] = r
-	t.mu.Unlock()
-	return r, false
+	r, hit := t.qwp.lookup(key, func() qwpResponse { return d.qwpEval(f) })
+	t.count(shard, hit)
+	return r, hit
+}
+
+// axisPoint is one per-axis operating point of a batched lookup.
+type axisPoint struct {
+	axis Axis
+	f, v float64
+}
+
+// axisBatch resolves a whole slice of per-axis operating points against
+// one snapshot load, computing all misses in one grouped singleflight
+// pass (see snapMap.lookupBatch). out must have len(pts) slots. The
+// returned counters follow the scalar convention (misses = evaluations
+// this call ran) and are already folded into the table and global views.
+func (t *responseTable) axisBatch(d Design, pts []axisPoint, out []axisResponse, shard uint32) (hits, misses uint64) {
+	keys := make([]axisKey, len(pts))
+	for i, p := range pts {
+		keys[i] = axisKey{axis: p.axis, f: math.Float64bits(p.f), v: math.Float64bits(p.v)}
+	}
+	hits, misses = t.axis.lookupBatch(keys, out, func(k axisKey) axisResponse {
+		return d.axisEval(k.axis, math.Float64frombits(k.f), math.Float64frombits(k.v))
+	})
+	t.countBatch(shard, hits, misses)
+	return hits, misses
+}
+
+// qwpBatch resolves the QWP responses of a whole frequency slice against
+// one snapshot load, grouping misses like axisBatch. out must have
+// len(freqs) slots.
+func (t *responseTable) qwpBatch(d Design, freqs []float64, out []qwpResponse, shard uint32) (hits, misses uint64) {
+	keys := make([]uint64, len(freqs))
+	for i, f := range freqs {
+		keys[i] = math.Float64bits(f)
+	}
+	hits, misses = t.qwp.lookupBatch(keys, out, func(k uint64) qwpResponse {
+		return d.qwpEval(math.Float64frombits(k))
+	})
+	t.countBatch(shard, hits, misses)
+	return hits, misses
 }

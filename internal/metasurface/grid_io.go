@@ -1,0 +1,164 @@
+package metasurface
+
+// Persisted LUT grids. A dense interpolation grid costs 2·nv·nf circuit
+// evaluations per design (lut.go) — cheap once, wasteful once per
+// process: llama-bench, llama-serve and every fleet worker used to
+// rebuild identical grids on their first approximate-mode lookup. The
+// export/import forms here mirror table.go's: pure string rows with
+// lossless float columns, so internal/store can persist grids under
+// DIR/grids/ without importing this package, and a warm-started process
+// installs the grid without a single evaluation (GlobalLUTGridBuilds
+// stays at zero). Grid nodes are exact outputs of the same pure
+// axisEval the local build runs, and every float round-trips bit-exact,
+// so an imported grid interpolates bit-identically to a locally built
+// one.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Serialized grid arities. A sample row is one axisResponse —
+//
+//	[s11re, s11im, s12re, s12im, s21re, s21im, s22re, s22im, z0, gammaRe, gammaIm]
+//
+// — and the meta row is
+//
+//	[biasSteps, freqSteps, freqSpan, vMin, vStep, fMin, fStep]
+//
+// with integers in base 10 and floats formatted with
+// strconv.FormatFloat(v, 'g', -1, 64), the shortest string that parses
+// back to the identical bits (the store's lossless convention).
+const (
+	gridSampleCols = 11
+	gridMetaCols   = 7
+)
+
+// GridExport is the store-friendly serialization of one design's LUT
+// grid: pure string rows, so internal/store can persist it without
+// importing this package. Produced by ExportLUTGrids, consumed by
+// ImportLUTGrid.
+type GridExport struct {
+	// Fingerprint is the DesignFingerprint the grid belongs to.
+	Fingerprint string
+	// Meta is the grid geometry row (gridMetaCols columns; see above).
+	Meta []string
+	// Samples holds 2·nv·nf rows of gridSampleCols columns: the full
+	// X-axis block first, then the Y-axis block, bias-major within each
+	// (the exact layout of lutGrid.samples).
+	Samples [][]string
+}
+
+// Entries returns the sample count of the export.
+func (g GridExport) Entries() int { return len(g.Samples) }
+
+// ExportLUTGrids snapshots every built LUT grid in the process, sorted
+// by design fingerprint. Tables whose grid was never built (exact-mode
+// processes) are skipped — there is nothing to persist.
+func ExportLUTGrids() []GridExport {
+	tablesMu.Lock()
+	list := make([]*responseTable, 0, len(tables))
+	for _, t := range tables {
+		list = append(list, t)
+	}
+	tablesMu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].fingerprint < list[j].fingerprint })
+
+	var out []GridExport
+	for _, t := range list {
+		if g := t.lut.Load(); g != nil {
+			out = append(out, exportGrid(t.fingerprint, g))
+		}
+	}
+	return out
+}
+
+// exportGrid serializes one grid.
+func exportGrid(fp string, g *lutGrid) GridExport {
+	ex := GridExport{
+		Fingerprint: fp,
+		Meta: []string{
+			strconv.Itoa(g.cfg.BiasSteps), strconv.Itoa(g.cfg.FreqSteps),
+			fmtFloat(g.cfg.FreqSpan),
+			fmtFloat(g.vMin), fmtFloat(g.vStep), fmtFloat(g.fMin), fmtFloat(g.fStep),
+		},
+		Samples: make([][]string, 0, 2*g.nv*g.nf),
+	}
+	for _, axis := range []Axis{AxisX, AxisY} {
+		for _, r := range g.samples[axis] {
+			row := make([]string, 0, gridSampleCols)
+			row = fmtSParams(row, r.s)
+			row = fmtComplex(row, r.shortGamma)
+			ex.Samples = append(ex.Samples, row)
+		}
+	}
+	return ex
+}
+
+// ImportLUTGrid validates a previously exported grid in full and — only
+// if every row parses — installs it on the design's table, so a corrupt
+// record never half-installs a grid (callers treat an error as "warn
+// and rebuild on demand"). It returns the number of samples installed.
+// Imports never bump GlobalLUTGridBuilds: an imported grid is the build
+// the process did NOT pay for. A grid whose geometry does not match the
+// active LUT config is still installed verbatim; lutAxisAt rebuilds on
+// first use if the configured resolution differs.
+func ImportLUTGrid(ex GridExport) (int, error) {
+	if ex.Fingerprint == "" {
+		return 0, fmt.Errorf("metasurface: grid import: empty fingerprint")
+	}
+	if len(ex.Meta) != gridMetaCols {
+		return 0, fmt.Errorf("metasurface: grid import: meta has %d columns, want %d", len(ex.Meta), gridMetaCols)
+	}
+	biasSteps, err := strconv.Atoi(ex.Meta[0])
+	if err != nil {
+		return 0, fmt.Errorf("metasurface: grid import: bias steps: %w", err)
+	}
+	freqSteps, err := strconv.Atoi(ex.Meta[1])
+	if err != nil {
+		return 0, fmt.Errorf("metasurface: grid import: freq steps: %w", err)
+	}
+	if biasSteps < 2 || freqSteps < 2 {
+		return 0, fmt.Errorf("metasurface: grid import: degenerate grid %d×%d", biasSteps, freqSteps)
+	}
+	mr := rowReader{row: ex.Meta, i: 2}
+	freqSpan := mr.next()
+	vMin, vStep := mr.next(), mr.next()
+	fMin, fStep := mr.next(), mr.next()
+	if mr.err != nil {
+		return 0, fmt.Errorf("metasurface: grid import: meta: %w", mr.err)
+	}
+	if !(vStep > 0) || !(fStep > 0) {
+		return 0, fmt.Errorf("metasurface: grid import: non-positive grid step (%s, %s)",
+			fmtFloat(vStep), fmtFloat(fStep))
+	}
+	perAxis := biasSteps * freqSteps
+	if len(ex.Samples) != 2*perAxis {
+		return 0, fmt.Errorf("metasurface: grid import: %d sample rows, want %d", len(ex.Samples), 2*perAxis)
+	}
+	g := &lutGrid{
+		cfg:  LUTConfig{BiasSteps: biasSteps, FreqSteps: freqSteps, FreqSpan: freqSpan},
+		vMin: vMin, vStep: vStep,
+		fMin: fMin, fStep: fStep,
+		nv: biasSteps, nf: freqSteps,
+	}
+	for _, axis := range []Axis{AxisX, AxisY} {
+		s := make([]axisResponse, perAxis)
+		for i := range s {
+			row := ex.Samples[int(axis)*perAxis+i]
+			if len(row) != gridSampleCols {
+				return 0, fmt.Errorf("metasurface: grid import: sample row %d has %d columns, want %d",
+					int(axis)*perAxis+i, len(row), gridSampleCols)
+			}
+			rr := rowReader{row: row}
+			s[i] = axisResponse{s: rr.sparams(), shortGamma: rr.complexVal()}
+			if rr.err != nil {
+				return 0, fmt.Errorf("metasurface: grid import: sample row %d: %w", int(axis)*perAxis+i, rr.err)
+			}
+		}
+		g.samples[axis] = s
+	}
+	tableFor(ex.Fingerprint).lut.Store(g)
+	return len(ex.Samples), nil
+}

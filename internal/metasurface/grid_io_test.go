@@ -1,0 +1,197 @@
+package metasurface
+
+// Contracts of grid persistence: an exported grid round-trips through
+// its pure-string form bit-exactly, a corrupt export is rejected whole
+// (never half-installed), the parallel build is bit-identical for any
+// worker count, and a warm-started process answers in-grid lookups with
+// ZERO grid builds — the observable the store integration exists for.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/llama-surface/llama/internal/units"
+)
+
+// buildTestGrid builds a small grid for the test design and installs it
+// on the design's table, returning the design. Small (5×4) so corrupt-
+// record tests can enumerate rows cheaply.
+func buildTestGrid(t *testing.T) Design {
+	t.Helper()
+	ResetResponseTables()
+	ResetGlobalLUTStats()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	g := buildLUTGrid(d, LUTConfig{BiasSteps: 5, FreqSteps: 4, FreqSpan: 0.25})
+	tableFor(DesignFingerprint(d)).lut.Store(g)
+	return d
+}
+
+// TestGridExportImportRoundTrip: export → fresh registry → import →
+// re-export must reproduce the export verbatim, and the imported grid
+// must interpolate bit-identically to the locally built one.
+func TestGridExportImportRoundTrip(t *testing.T) {
+	d := buildTestGrid(t)
+	built := tableFor(DesignFingerprint(d)).lut.Load()
+	exports := ExportLUTGrids()
+	if len(exports) != 1 {
+		t.Fatalf("ExportLUTGrids returned %d grids, want 1", len(exports))
+	}
+	ex := exports[0]
+	if ex.Fingerprint != DesignFingerprint(d) {
+		t.Fatalf("export labelled %q", ex.Fingerprint)
+	}
+	if want := 2 * 5 * 4; ex.Entries() != want {
+		t.Fatalf("export holds %d samples, want %d", ex.Entries(), want)
+	}
+
+	ResetResponseTables()
+	n, err := ImportLUTGrid(ex)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if n != ex.Entries() {
+		t.Fatalf("import installed %d samples, want %d", n, ex.Entries())
+	}
+	imported := tableFor(DesignFingerprint(d)).lut.Load()
+	if imported == nil {
+		t.Fatal("import did not install a grid")
+	}
+	if !reflect.DeepEqual(built.samples, imported.samples) {
+		t.Fatal("imported samples are not bit-identical to the built grid")
+	}
+	if again := ExportLUTGrids(); !reflect.DeepEqual(again, exports) {
+		t.Fatal("re-export of the imported grid differs from the original export")
+	}
+	// Interpolated answers from both grids agree bit-for-bit at an
+	// off-lattice point.
+	f := d.CenterHz * 1.0173
+	v := 7.31
+	a, okA := built.at(AxisY, f, v)
+	b, okB := imported.at(AxisY, f, v)
+	if !okA || !okB || !sameC(a.s.S21, b.s.S21) || !sameC(a.shortGamma, b.shortGamma) {
+		t.Fatal("imported grid interpolates differently from the built grid")
+	}
+}
+
+// TestGridImportRejectsCorrupt: every class of damage — bad arity, bad
+// numbers, degenerate geometry, missing rows — must reject the import
+// as a whole, leaving the table's grid absent.
+func TestGridImportRejectsCorrupt(t *testing.T) {
+	d := buildTestGrid(t)
+	good := ExportLUTGrids()[0]
+
+	damage := map[string]func(GridExport) GridExport{
+		"empty fingerprint": func(ex GridExport) GridExport { ex.Fingerprint = ""; return ex },
+		"meta arity": func(ex GridExport) GridExport {
+			ex.Meta = ex.Meta[:len(ex.Meta)-1]
+			return ex
+		},
+		"unparseable bias steps": func(ex GridExport) GridExport {
+			ex.Meta = append([]string(nil), ex.Meta...)
+			ex.Meta[0] = "five"
+			return ex
+		},
+		"degenerate grid": func(ex GridExport) GridExport {
+			ex.Meta = append([]string(nil), ex.Meta...)
+			ex.Meta[0] = "1"
+			return ex
+		},
+		"non-positive step": func(ex GridExport) GridExport {
+			ex.Meta = append([]string(nil), ex.Meta...)
+			ex.Meta[4] = "0"
+			return ex
+		},
+		"missing sample rows": func(ex GridExport) GridExport {
+			ex.Samples = ex.Samples[:len(ex.Samples)-1]
+			return ex
+		},
+		"sample arity": func(ex GridExport) GridExport {
+			rows := append([][]string(nil), ex.Samples...)
+			rows[3] = rows[3][:5]
+			ex.Samples = rows
+			return ex
+		},
+		"unparseable sample": func(ex GridExport) GridExport {
+			rows := append([][]string(nil), ex.Samples...)
+			row := append([]string(nil), rows[7]...)
+			row[0] = "NaN-ish"
+			rows[7] = row
+			ex.Samples = rows
+			return ex
+		},
+	}
+	for name, corrupt := range damage {
+		ResetResponseTables()
+		if _, err := ImportLUTGrid(corrupt(good)); err == nil {
+			t.Errorf("%s: corrupt export imported without error", name)
+		}
+		if g := tableFor(DesignFingerprint(d)).lut.Load(); g != nil {
+			t.Errorf("%s: rejected import still installed a grid", name)
+		}
+	}
+	ResetResponseTables()
+}
+
+// TestGridBuildParallelDeterministic: the striped parallel build must be
+// bit-identical to the single-worker build — the worker count is an
+// execution detail, never an input to the physics.
+func TestGridBuildParallelDeterministic(t *testing.T) {
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	cfg := LUTConfig{BiasSteps: 9, FreqSteps: 5, FreqSpan: 0.25}
+	parallel := buildLUTGrid(d, cfg)
+	prev := runtime.GOMAXPROCS(1)
+	serial := buildLUTGrid(d, cfg)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(parallel.samples, serial.samples) {
+		t.Fatal("parallel grid build is not bit-identical to the single-worker build")
+	}
+	ResetGlobalLUTStats()
+}
+
+// TestGridWarmStartZeroRebuild is the acceptance observable: a process
+// warm-started from a persisted grid record answers in-grid lookups by
+// interpolation with GlobalLUTGridBuilds still at zero — the dense
+// rebuild was the cost being eliminated.
+func TestGridWarmStartZeroRebuild(t *testing.T) {
+	// "First process": build at the active resolution and export.
+	ResetResponseTables()
+	ResetGlobalLUTStats()
+	d := OptimizedFR4Design(units.DefaultCarrierHz)
+	SetLUTConfig(LUTConfig{}) // defaults
+	SetLUT(true)
+	defer func() {
+		SetLUT(false)
+		ResetGlobalLUTStats()
+		ResetResponseTables()
+	}()
+	first := MustNew(d)
+	first.SetBias(8, 8)
+	want := first.JonesTransmissive(units.DefaultCarrierHz)
+	if GlobalLUTGridBuilds() != 1 {
+		t.Fatalf("first process built %d grids, want 1", GlobalLUTGridBuilds())
+	}
+	ex := ExportLUTGrids()
+
+	// "Second process": fresh registry, import, same lookup.
+	ResetResponseTables()
+	ResetGlobalLUTStats()
+	for _, g := range ex {
+		if _, err := ImportLUTGrid(g); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+	}
+	warm := MustNew(d)
+	warm.SetBias(8, 8)
+	lutBefore := GlobalLUTStats()
+	got := warm.JonesTransmissive(units.DefaultCarrierHz)
+	if !sameMat(got, want) {
+		t.Fatal("warm-started LUT answer differs from the building process's answer")
+	}
+	if GlobalLUTGridBuilds() != 0 {
+		t.Fatalf("warm-started process built %d grids, want 0 (that is the point of persisting them)", GlobalLUTGridBuilds())
+	}
+	if d := GlobalLUTStats().Sub(lutBefore); d.Interpolated == 0 {
+		t.Fatal("warm-started lookup did not interpolate from the imported grid")
+	}
+}

@@ -15,6 +15,7 @@ package metasurface
 // computation per frequency, so it always stays exact.
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -88,6 +89,17 @@ var lutConfig atomic.Pointer[LUTConfig]
 // Process-wide approximate-mode counters.
 var globalLUTInterp, globalLUTFallback atomic.Uint64
 
+// globalLUTBuilds counts dense-grid constructions (buildLUTGrid runs).
+// A process warm-started from persisted grid records (grid_io.go +
+// internal/store) answers every in-range lookup without this counter
+// ever moving — the observable form of "zero grid rebuild cost".
+var globalLUTBuilds atomic.Uint64
+
+// GlobalLUTGridBuilds returns the number of dense LUT grids this
+// process has built from scratch. Grids installed by ImportLUTGrid do
+// not count — that is the point of persisting them.
+func GlobalLUTGridBuilds() uint64 { return globalLUTBuilds.Load() }
+
 // SetLUT switches the approximate interpolated-lookup mode on or off
 // process-wide (the llama-bench -lut flag). Off by default: LUT mode
 // trades bit-exactness for speed and must be an explicit choice.
@@ -117,10 +129,12 @@ func GlobalLUTStats() LUTStats {
 	return LUTStats{Interpolated: globalLUTInterp.Load(), Fallbacks: globalLUTFallback.Load()}
 }
 
-// ResetGlobalLUTStats zeroes the approximate-mode counters (test isolation).
+// ResetGlobalLUTStats zeroes the approximate-mode counters, including
+// the grid-build counter (test isolation).
 func ResetGlobalLUTStats() {
 	globalLUTInterp.Store(0)
 	globalLUTFallback.Store(0)
+	globalLUTBuilds.Store(0)
 }
 
 // lutGrid is one design's precomputed response grid: per-axis samples
@@ -139,8 +153,12 @@ type lutGrid struct {
 // buildLUTGrid evaluates the full grid for design d. The samples come
 // from the same axisEval the exact path runs (including the X-axis
 // bias-offset handling), so grid nodes are exact and interpolation
-// error appears only between nodes.
+// error appears only between nodes. Construction is parallel: bias rows
+// are striped across GOMAXPROCS goroutines, each writing disjoint
+// sample slots whose values depend only on (design, axis, f, v) — the
+// grid is bit-identical for any worker count, including one.
 func buildLUTGrid(d Design, cfg LUTConfig) *lutGrid {
+	globalLUTBuilds.Add(1)
 	cfg = cfg.normalize()
 	g := &lutGrid{
 		cfg:  cfg,
@@ -152,17 +170,34 @@ func buildLUTGrid(d Design, cfg LUTConfig) *lutGrid {
 	fMax := d.CenterHz * (1 + cfg.FreqSpan)
 	g.vStep = (d.MaxBiasV - d.MinBiasV) / float64(g.nv-1)
 	g.fStep = (fMax - g.fMin) / float64(g.nf-1)
-	for _, axis := range []Axis{AxisX, AxisY} {
-		s := make([]axisResponse, g.nv*g.nf)
-		for i := 0; i < g.nv; i++ {
-			v := g.vMin + float64(i)*g.vStep
-			for j := 0; j < g.nf; j++ {
-				f := g.fMin + float64(j)*g.fStep
-				s[i*g.nf+j] = d.axisEval(axis, f, v)
-			}
-		}
-		g.samples[axis] = s
+	g.samples[AxisX] = make([]axisResponse, g.nv*g.nf)
+	g.samples[AxisY] = make([]axisResponse, g.nv*g.nf)
+	rows := 2 * g.nv // one unit of work: one bias row of one axis
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
 	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for row := w; row < rows; row += workers {
+				axis := AxisX
+				if row >= g.nv {
+					axis = AxisY
+				}
+				i := row % g.nv
+				v := g.vMin + float64(i)*g.vStep
+				s := g.samples[axis]
+				for j := 0; j < g.nf; j++ {
+					f := g.fMin + float64(j)*g.fStep
+					s[i*g.nf+j] = d.axisEval(axis, f, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 	return g
 }
 

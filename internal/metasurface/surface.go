@@ -35,6 +35,11 @@ type Surface struct {
 	// table, so per-surface attribution survives sharing: the sum over
 	// all surfaces of a design equals the design table's counters.
 	hits, misses atomic.Uint64
+
+	// shard is this surface's slot in the sharded table/global counters
+	// (cache.go), dealt round-robin at construction so concurrently hot
+	// surfaces never bounce one counter cache line between cores.
+	shard uint32
 }
 
 // New builds a Surface from a validated design.
@@ -47,6 +52,7 @@ func New(d Design) (*Surface, error) {
 		biasX:  d.MinBiasV,
 		biasY:  d.MinBiasV,
 		table:  tableFor(DesignFingerprint(d)),
+		shard:  nextStatShard(),
 	}, nil
 }
 
@@ -162,7 +168,7 @@ func (s *Surface) axisAt(axis Axis, f, v float64) axisResponse {
 	if s.table == nil || !CachingEnabled() {
 		return s.design.axisEval(axis, f, v)
 	}
-	r, hit := s.table.axisAt(s.design, axis, f, v)
+	r, hit := s.table.axisAt(s.design, axis, f, v, s.shard)
 	if hit {
 		s.hits.Add(1)
 	} else {
@@ -178,7 +184,7 @@ func (s *Surface) qwpAt(f float64) qwpResponse {
 	if s.table == nil || !CachingEnabled() {
 		return s.design.qwpEval(f)
 	}
-	r, hit := s.table.qwpAt(s.design, f)
+	r, hit := s.table.qwpAt(s.design, f, s.shard)
 	if hit {
 		s.hits.Add(1)
 	} else {
@@ -354,16 +360,23 @@ func (s *Surface) AxisTransmission(axis Axis, f, v float64) complex128 {
 	return s.axisAt(axis, f, v).s.S21
 }
 
+// jonesTransmissiveFrom assembles Eq. (8)'s Q₊₄₅·B·Q₋₄₅ from resolved
+// responses. The scalar and batched paths both assemble through exactly
+// this function, which is what makes batched ≡ scalar bit-identity
+// (determinism invariant #11) hold by construction rather than by test
+// alone.
+func jonesTransmissiveFrom(xr, yr axisResponse, q qwpResponse) mat2.Mat {
+	bfs := mat2.Diag(xr.s.S21, yr.s.S21)
+	return q.plus.Mul(bfs).Mul(q.minus)
+}
+
 // JonesTransmissive returns the Jones matrix of the whole surface in
 // transmissive mode at frequency f with the current bias: Eq. (8)'s
 // Q₊₄₅·B·Q₋₄₅ with every element taken from the circuit model.
 func (s *Surface) JonesTransmissive(f float64) mat2.Mat {
-	bfs := mat2.Diag(
-		s.axisAt(AxisX, f, s.biasX).s.S21,
-		s.axisAt(AxisY, f, s.biasY).s.S21,
-	)
-	q := s.qwpAt(f)
-	return q.plus.Mul(bfs).Mul(q.minus)
+	xr := s.axisAt(AxisX, f, s.biasX)
+	yr := s.axisAt(AxisY, f, s.biasY)
+	return jonesTransmissiveFrom(xr, yr, s.qwpAt(f))
 }
 
 // axisReflection returns the complex reflection coefficient of one BFS
@@ -392,10 +405,16 @@ func (s *Surface) axisReflection(axis Axis, f, v float64) complex128 {
 // modulate the reflected amplitude.
 func (s *Surface) JonesReflective(f float64) mat2.Mat {
 	q := s.qwpAt(f)
-	inner := mat2.Diag(
-		s.axisReflection(AxisX, f, s.biasX),
-		s.axisReflection(AxisY, f, s.biasY),
-	)
+	xr := s.axisAt(AxisX, f, s.biasX)
+	yr := s.axisAt(AxisY, f, s.biasY)
+	return jonesReflectiveFrom(xr, yr, q)
+}
+
+// jonesReflectiveFrom assembles the reflective-mode Jones matrix from
+// resolved responses — the shared assembly of the scalar and batched
+// paths (see jonesTransmissiveFrom).
+func jonesReflectiveFrom(xr, yr axisResponse, q qwpResponse) mat2.Mat {
+	inner := mat2.Diag(xr.shortGamma, yr.shortGamma)
 	round := q.minus.Transpose().Mul(inner).Mul(q.minus)
 	// Front-face specular term: reflection of the (slightly mismatched)
 	// QWP sections.
@@ -454,16 +473,24 @@ func (s *Surface) Jones(mode Mode, f float64) mat2.Mat {
 	return s.JonesTransmissive(f)
 }
 
-// Efficiency returns the Eq. (11) transmission efficiency for an incident
-// wave polarized along the given axis, at frequency f with the current
-// bias: |S_co|² + |S_cross|², i.e. ‖M·ê‖².
-func (s *Surface) Efficiency(axis Axis, f float64) float64 {
-	m := s.JonesTransmissive(f)
+// JonesEfficiency returns the Eq. (11) transmission efficiency a Jones
+// matrix applies to an incident wave polarized along the given axis:
+// |S_co|² + |S_cross|², i.e. ‖M·ê‖². It is the scalar Efficiency path
+// factored out so batched callers (Surface.JonesBatch consumers) can
+// derive bit-identical efficiencies from batch-resolved matrices.
+func JonesEfficiency(m mat2.Mat, axis Axis) float64 {
 	in := jones.Horizontal()
 	if axis == AxisY {
 		in = jones.Vertical()
 	}
 	return m.MulVec(in).NormSq()
+}
+
+// Efficiency returns the Eq. (11) transmission efficiency for an incident
+// wave polarized along the given axis, at frequency f with the current
+// bias: |S_co|² + |S_cross|², i.e. ‖M·ê‖².
+func (s *Surface) Efficiency(axis Axis, f float64) float64 {
+	return JonesEfficiency(s.JonesTransmissive(f), axis)
 }
 
 // EfficiencyDB returns Efficiency in dB.

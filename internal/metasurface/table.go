@@ -227,15 +227,18 @@ func ExportResponseTables() []TableExport {
 	return out
 }
 
-// export snapshots one table in canonical order.
+// export snapshots one table in canonical order. The snapshot unions
+// the published map with any still-pending entries, so nothing computed
+// before the export is ever missing from it.
 func (t *responseTable) export() TableExport {
-	t.mu.RLock()
-	axisKeys := make([]axisKey, 0, len(t.axis))
-	for k := range t.axis {
+	axisMap := t.axis.snapshot()
+	qwpMap := t.qwp.snapshot()
+	axisKeys := make([]axisKey, 0, len(axisMap))
+	for k := range axisMap {
 		axisKeys = append(axisKeys, k)
 	}
-	qwpKeys := make([]uint64, 0, len(t.qwp))
-	for k := range t.qwp {
+	qwpKeys := make([]uint64, 0, len(qwpMap))
+	for k := range qwpMap {
 		qwpKeys = append(qwpKeys, k)
 	}
 	sort.Slice(axisKeys, func(i, j int) bool {
@@ -256,7 +259,7 @@ func (t *responseTable) export() TableExport {
 		QWP:         make([][]string, 0, len(qwpKeys)),
 	}
 	for _, k := range axisKeys {
-		r := t.axis[k]
+		r := axisMap[k]
 		row := make([]string, 0, axisEntryCols)
 		row = append(row, k.axis.String(),
 			fmtFloat(math.Float64frombits(k.f)), fmtFloat(math.Float64frombits(k.v)))
@@ -265,7 +268,7 @@ func (t *responseTable) export() TableExport {
 		ex.Axis = append(ex.Axis, row)
 	}
 	for _, k := range qwpKeys {
-		r := t.qwp[k]
+		r := qwpMap[k]
 		row := make([]string, 0, qwpEntryCols)
 		row = append(row, fmtFloat(math.Float64frombits(k)))
 		row = fmtSParams(row, r.fastS)
@@ -274,7 +277,6 @@ func (t *responseTable) export() TableExport {
 		row = fmtMat(row, r.minus)
 		ex.QWP = append(ex.QWP, row)
 	}
-	t.mu.RUnlock()
 	return ex
 }
 
@@ -380,17 +382,19 @@ func ImportResponseTable(ex TableExport) (int, error) {
 	}
 
 	t := tableFor(ex.Fingerprint)
-	t.mu.Lock()
-	for _, e := range axisEntries {
-		if _, ok := t.axis[e.key]; !ok {
-			t.axis[e.key] = e.val
-		}
+	axisKeys := make([]axisKey, len(axisEntries))
+	axisVals := make([]axisResponse, len(axisEntries))
+	for i, e := range axisEntries {
+		axisKeys[i], axisVals[i] = e.key, e.val
 	}
-	for _, e := range qwpEntries {
-		if _, ok := t.qwp[e.key]; !ok {
-			t.qwp[e.key] = e.val
-		}
+	qwpKeys := make([]uint64, len(qwpEntries))
+	qwpVals := make([]qwpResponse, len(qwpEntries))
+	for i, e := range qwpEntries {
+		qwpKeys[i], qwpVals[i] = e.key, e.val
 	}
-	t.mu.Unlock()
+	// merge publishes the union snapshot immediately: warm-started
+	// entries are lock-free from the first lookup.
+	t.axis.merge(axisKeys, axisVals)
+	t.qwp.merge(qwpKeys, qwpVals)
 	return len(axisEntries) + len(qwpEntries), nil
 }

@@ -1,0 +1,193 @@
+package store
+
+// LUT grid records: the persisted form of the per-design dense
+// interpolation grids (internal/metasurface/grid_io.go), under
+// DIR/grids/. Like table records, grid records are pure acceleration
+// state — losing one costs a parallel rebuild, never correctness — so
+// corrupt records are skipped (warn + rebuild) rather than fatal. Rows
+// are opaque string tuples here: the metasurface package owns their
+// arity and float encoding; the store only guarantees atomic,
+// schema-versioned, lossless round-trips.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GridSchemaVersion is the grid-record format this package writes.
+const GridSchemaVersion = 1
+
+// GridRecord is the persisted LUT grid of one design fingerprint.
+type GridRecord struct {
+	// Schema is the record format version (GridSchemaVersion when
+	// written by this package).
+	Schema int `json:"schema"`
+	// Fingerprint is the canonical design identity the grid belongs to
+	// (metasurface.DesignFingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// SavedUnixNs stamps the write time.
+	SavedUnixNs int64 `json:"saved_unix_ns"`
+	// Meta is the grid geometry row and Samples the serialized sample
+	// rows, all with lossless float columns; the metasurface package
+	// defines and validates their layout.
+	Meta    []string   `json:"meta"`
+	Samples [][]string `json:"samples,omitempty"`
+
+	// Path is where the record was read from or written to; set by
+	// GetGrid/PutGrid/ListGrids, never serialized.
+	Path string `json:"-"`
+}
+
+// Entries returns the sample count of the record.
+func (r *GridRecord) Entries() int { return len(r.Samples) }
+
+// GridNotFoundError reports that no grid record exists for a
+// fingerprint.
+type GridNotFoundError struct {
+	// Fingerprint is the missing grid; Path is where its record would
+	// live.
+	Fingerprint string
+	Path        string
+}
+
+// Error implements error.
+func (e *GridNotFoundError) Error() string {
+	return fmt.Sprintf("store: no grid record for %s at %s", e.Fingerprint, e.Path)
+}
+
+// IsGridNotFound reports whether err means "grid never persisted" (as
+// opposed to persisted but unreadable).
+func IsGridNotFound(err error) bool {
+	var nf *GridNotFoundError
+	return errors.As(err, &nf)
+}
+
+// gridsDir returns the directory grid records live in.
+func (s *Store) gridsDir() string { return filepath.Join(s.dir, "grids") }
+
+// GridPath returns the path the record for a fingerprint lives at,
+// whether or not it exists yet. Fingerprints are path-escaped like cell
+// IDs, so a hostile fingerprint can never traverse directories.
+func (s *Store) GridPath(fingerprint string) string {
+	return filepath.Join(s.gridsDir(), url.PathEscape(fingerprint)+".json")
+}
+
+// PutGrid atomically persists one grid record (temp file + fsync +
+// rename, like cell records), stamping its Schema and Path, and its
+// SavedUnixNs when unset. Grid records are not manifest-tracked:
+// ListGrids scans the grids directory, so there is nothing to Sync.
+func (s *Store) PutGrid(rec *GridRecord) error {
+	if rec == nil || rec.Fingerprint == "" {
+		return errors.New("store: PutGrid needs a record with a fingerprint")
+	}
+	if err := os.MkdirAll(s.gridsDir(), 0o755); err != nil {
+		return fmt.Errorf("store: create %s: %w", s.gridsDir(), err)
+	}
+	rec.Schema = GridSchemaVersion
+	if rec.SavedUnixNs == 0 {
+		rec.SavedUnixNs = time.Now().UnixNano()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode grid %s: %w", rec.Fingerprint, err)
+	}
+	path := s.GridPath(rec.Fingerprint)
+	if err := writeFileAtomic(path, append(line, '\n')); err != nil {
+		return fmt.Errorf("store: write grid %s: %w", rec.Fingerprint, err)
+	}
+	rec.Path = path
+	return nil
+}
+
+// GetGrid loads and validates the record for a design fingerprint. It
+// returns a *GridNotFoundError when the grid was never persisted, and a
+// *CorruptError (with Seed 0) naming the path when a record exists but
+// is truncated, unparseable, schema-mismatched or mislabelled. Callers
+// treat a corrupt record as "rebuild on demand": warn and recompute.
+func (s *Store) GetGrid(fingerprint string) (*GridRecord, error) {
+	path := s.GridPath(fingerprint)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &GridNotFoundError{Fingerprint: fingerprint, Path: path}
+		}
+		return nil, &CorruptError{ID: fingerprint, Path: path, Err: err}
+	}
+	rec, err := decodeGridRecord(data)
+	if err != nil {
+		return nil, &CorruptError{ID: fingerprint, Path: path, Err: err}
+	}
+	if rec.Fingerprint != fingerprint {
+		return nil, &CorruptError{ID: fingerprint, Path: path,
+			Err: fmt.Errorf("record labelled %s", rec.Fingerprint)}
+	}
+	rec.Path = path
+	return rec, nil
+}
+
+// ListGrids returns every readable grid record, sorted by fingerprint.
+// Unreadable records are skipped — they stay on disk as evidence and
+// surface as *CorruptError from GetGrid — so a single damaged record
+// never blocks warm-starting the rest.
+func (s *Store) ListGrids() ([]*GridRecord, error) {
+	entries, err := os.ReadDir(s.gridsDir())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // no grid was ever persisted
+		}
+		return nil, fmt.Errorf("store: scan %s: %w", s.gridsDir(), err)
+	}
+	var out []*GridRecord
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(s.gridsDir(), name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		rec, err := decodeGridRecord(data)
+		if err != nil {
+			continue
+		}
+		if name != url.PathEscape(rec.Fingerprint)+".json" {
+			continue // mislabelled file: evidence for GetGrid, not a listing
+		}
+		rec.Path = path
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out, nil
+}
+
+// decodeGridRecord parses one single-line grid record, enforcing the
+// schema version.
+func decodeGridRecord(data []byte) (*GridRecord, error) {
+	trimmed := strings.TrimRight(string(data), "\n")
+	if trimmed == "" {
+		return nil, errors.New("empty grid record file")
+	}
+	if strings.Contains(trimmed, "\n") {
+		return nil, errors.New("grid record file holds more than one line")
+	}
+	var rec GridRecord
+	if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+		return nil, fmt.Errorf("truncated or invalid JSON: %v", err)
+	}
+	if rec.Schema != GridSchemaVersion {
+		return nil, fmt.Errorf("grid schema version %d, want %d", rec.Schema, GridSchemaVersion)
+	}
+	if rec.Fingerprint == "" {
+		return nil, errors.New("grid record has no fingerprint")
+	}
+	return &rec, nil
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleGrid builds a representative grid record (a 2×2 grid per axis).
+func sampleGrid(fp string) *GridRecord {
+	row := []string{"0.1", "0", "0.9", "0", "0.9", "0", "0.1", "0", "377", "0.5", "0"}
+	samples := make([][]string, 8)
+	for i := range samples {
+		samples[i] = row
+	}
+	return &GridRecord{
+		Fingerprint: fp,
+		Meta:        []string{"2", "2", "0.25", "0", "30", "1.8375e+09", "6.125e+08"},
+		Samples:     samples,
+	}
+}
+
+// TestGridRecordRoundTrip: PutGrid stamps schema, timestamp and path;
+// GetGrid returns the identical rows (the store never interprets them).
+func TestGridRecordRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleGrid("fp-grid")
+	if err := s.PutGrid(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != GridSchemaVersion || rec.Path == "" || rec.SavedUnixNs == 0 {
+		t.Errorf("PutGrid left schema=%d path=%q saved=%d", rec.Schema, rec.Path, rec.SavedUnixNs)
+	}
+	got, err := s.GetGrid("fp-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != "fp-grid" || got.Entries() != 8 || len(got.Meta) != 7 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// A pinned timestamp must survive re-puts.
+	got.SavedUnixNs = 42
+	if err := s.PutGrid(got); err != nil {
+		t.Fatal(err)
+	}
+	if again, err := s.GetGrid("fp-grid"); err != nil || again.SavedUnixNs != 42 {
+		t.Errorf("pinned SavedUnixNs overwritten: %v / %+v", err, again)
+	}
+}
+
+// TestGridNotFound: a never-persisted grid is a typed not-found distinct
+// from corruption.
+func TestGridNotFound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.GetGrid("never-written")
+	if !IsGridNotFound(err) {
+		t.Fatalf("err = %v, want GridNotFoundError", err)
+	}
+	var nf *GridNotFoundError
+	if !errors.As(err, &nf) || nf.Fingerprint != "never-written" || nf.Path == "" {
+		t.Errorf("not-found detail: %+v", nf)
+	}
+	if IsGridNotFound(errors.New("other")) {
+		t.Error("IsGridNotFound matched an unrelated error")
+	}
+}
+
+// TestGridRecordCorrupt: truncated, multi-line, schema-drifted,
+// fingerprint-less and mislabelled records all surface as CorruptError
+// naming the path — never as not-found, never as a zero record.
+func TestGridRecordCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutGrid(sampleGrid("fp-x")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.GridPath("fp-x")
+	for name, data := range map[string]string{
+		"empty":          "",
+		"truncated":      `{"schema":1,"fingerprint":"fp-`,
+		"multi-line":     "{}\n{}\n",
+		"schema drift":   `{"schema":999,"fingerprint":"fp-x"}` + "\n",
+		"no fingerprint": `{"schema":1}` + "\n",
+		"mislabelled":    `{"schema":1,"fingerprint":"fp-other"}` + "\n",
+	} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.GetGrid("fp-x")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: err = %v, want CorruptError", name, err)
+			continue
+		}
+		if !strings.Contains(ce.Error(), path) {
+			t.Errorf("%s: corrupt error does not name the file: %v", name, ce)
+		}
+		if IsGridNotFound(err) {
+			t.Errorf("%s: corruption misreported as not-found", name)
+		}
+	}
+}
+
+// TestListGrids: listing returns readable records sorted by fingerprint,
+// skipping damaged and mislabelled files instead of failing warm start.
+func TestListGrids(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := s.ListGrids(); err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: %v / %d records", err, len(recs))
+	}
+	for _, fp := range []string{"zz", "aa", "mm"} {
+		if err := s.PutGrid(sampleGrid(fp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(s.gridsDir(), "broken.json"), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.gridsDir(), "liar.json"),
+		[]byte(`{"schema":1,"fingerprint":"someone-else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.ListGrids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3 (damaged files skipped)", len(recs))
+	}
+	for i, want := range []string{"aa", "mm", "zz"} {
+		if recs[i].Fingerprint != want {
+			t.Errorf("record %d = %s, want %s (sorted by fingerprint)", i, recs[i].Fingerprint, want)
+		}
+		if recs[i].Path == "" {
+			t.Errorf("record %d missing path", i)
+		}
+	}
+}
+
+// TestGridPathEscaping: hostile fingerprints cannot escape the grids
+// directory.
+func TestGridPathEscaping(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.GridPath("../../etc/passwd")
+	if filepath.Dir(p) != s.gridsDir() {
+		t.Fatalf("hostile fingerprint escaped the grids dir: %s", p)
+	}
+	if err := s.PutGrid(&GridRecord{Fingerprint: "../../x", Meta: []string{"2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.GetGrid("../../x"); err != nil || got.Fingerprint != "../../x" {
+		t.Fatalf("escaped round trip: %v", err)
+	}
+}
+
+// TestPutGridValidates: nil and fingerprint-less records are rejected
+// before touching disk.
+func TestPutGridValidates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutGrid(nil); err == nil {
+		t.Error("nil record accepted")
+	}
+	if err := s.PutGrid(&GridRecord{}); err == nil {
+		t.Error("fingerprint-less record accepted")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/llama-surface/llama/internal/control"
 	"github.com/llama-surface/llama/internal/core"
 	"github.com/llama-surface/llama/internal/experiments"
+	"github.com/llama-surface/llama/internal/mat2"
 	"github.com/llama-surface/llama/internal/metasurface"
 	"github.com/llama-surface/llama/internal/store"
 	"github.com/llama-surface/llama/internal/units"
@@ -64,6 +65,28 @@ const (
 	Transmissive = metasurface.Transmissive
 	Reflective   = metasurface.Reflective
 )
+
+// Mat2 is the 2×2 complex Jones matrix surface queries return.
+type Mat2 = mat2.Mat
+
+// BatchPoint is one operating point — carrier frequency and the two bias
+// voltages — of a batched surface evaluation.
+type BatchPoint = metasurface.BatchPoint
+
+// Axis selects a principal polarization axis of the surface.
+type Axis = metasurface.Axis
+
+// Principal axes.
+const (
+	AxisX = metasurface.AxisX
+	AxisY = metasurface.AxisY
+)
+
+// JonesEfficiency extracts the power efficiency along one axis (Eq. 11)
+// from a Jones matrix returned by Surface.Jones or Surface.JonesBatch.
+func JonesEfficiency(m Mat2, axis Axis) float64 {
+	return metasurface.JonesEfficiency(m, axis)
+}
 
 // Scene is a polarization-aware radio configuration: endpoints, geometry,
 // optional surface, environment.
